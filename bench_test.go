@@ -1,0 +1,104 @@
+package iolite
+
+import (
+	"fmt"
+	"testing"
+
+	"iolite/internal/experiments"
+)
+
+// Each benchmark regenerates one figure of the paper's evaluation and
+// prints the table it plots (Mb/s per server configuration, CDF fractions,
+// or application runtimes). Run with -short for the reduced point set.
+//
+//	go test -bench=. -benchmem            # full figures
+//	go test -bench=Fig10 -short           # quick sweep of one figure
+//
+// The headline series value (the largest x-axis point of the first column,
+// normally Flash-Lite) is also exported as a benchmark metric so runs can
+// be compared numerically.
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Quick: testing.Short()}
+}
+
+// runFigure executes fig once per benchmark iteration, printing the table
+// on the first and reporting the headline metric.
+func runFigure(b *testing.B, metric string, fig func(experiments.Options) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := fig(benchOptions())
+		if i == 0 {
+			fmt.Printf("\n%s\n", tbl.Format())
+			if len(tbl.Rows) > 0 {
+				last := tbl.Rows[len(tbl.Rows)-1]
+				if len(last.Values) > 0 {
+					b.ReportMetric(last.Values[0], metric)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig3SingleFile — HTTP single-file test, nonpersistent
+// connections (§5.1): aggregate bandwidth vs document size for Flash-Lite,
+// Flash and Apache.
+func BenchmarkFig3SingleFile(b *testing.B) {
+	runFigure(b, "FlashLite_200KB_Mbps", experiments.Fig3)
+}
+
+// BenchmarkFig4PersistentSingleFile — the same test over HTTP/1.1
+// keep-alive connections (§5.2).
+func BenchmarkFig4PersistentSingleFile(b *testing.B) {
+	runFigure(b, "FlashLite_200KB_Mbps", experiments.Fig4)
+}
+
+// BenchmarkFig5CGI — FastCGI dynamic documents over pipes (§5.3).
+func BenchmarkFig5CGI(b *testing.B) {
+	runFigure(b, "FlashLite_200KB_Mbps", experiments.Fig5)
+}
+
+// BenchmarkFig6PersistentCGI — FastCGI with persistent connections (§5.3).
+func BenchmarkFig6PersistentCGI(b *testing.B) {
+	runFigure(b, "FlashLite_200KB_Mbps", experiments.Fig6)
+}
+
+// BenchmarkFig7TraceCDF — trace characteristics of the synthetic ECE, CS
+// and MERGED workloads (§5.4).
+func BenchmarkFig7TraceCDF(b *testing.B) {
+	runFigure(b, "final_req_frac", experiments.Fig7)
+}
+
+// BenchmarkFig8TraceReplay — overall trace performance: 64 clients
+// replaying each trace (§5.4).
+func BenchmarkFig8TraceReplay(b *testing.B) {
+	runFigure(b, "MERGED_FlashLite_Mbps", experiments.Fig8)
+}
+
+// BenchmarkFig9SubtraceCDF — 150 MB subtrace characteristics (§5.5).
+func BenchmarkFig9SubtraceCDF(b *testing.B) {
+	runFigure(b, "final_req_frac", experiments.Fig9)
+}
+
+// BenchmarkFig10SubtraceSweep — MERGED subtrace performance vs data-set
+// size (§5.5).
+func BenchmarkFig10SubtraceSweep(b *testing.B) {
+	runFigure(b, "FlashLite_150MB_Mbps", experiments.Fig10)
+}
+
+// BenchmarkFig11Contributions — optimization ablation: {GDS, LRU} ×
+// {checksum cache on, off} (§5.6).
+func BenchmarkFig11Contributions(b *testing.B) {
+	runFigure(b, "FlashLite_150MB_Mbps", experiments.Fig11)
+}
+
+// BenchmarkFig12WANDelay — throughput vs WAN delay with scaled client
+// populations (§5.7).
+func BenchmarkFig12WANDelay(b *testing.B) {
+	runFigure(b, "FlashLite_150ms_Mbps", experiments.Fig12)
+}
+
+// BenchmarkFig13Applications — converted-application runtimes (§5.8).
+func BenchmarkFig13Applications(b *testing.B) {
+	runFigure(b, "gcc_normalized", experiments.Fig13)
+}

@@ -1,0 +1,23 @@
+// Command iolapps runs the converted-application suite of §5.8 (wc,
+// cat|grep, permute|wc, gcc) in both variants and prints the Figure 13
+// table.
+//
+// Usage:
+//
+//	iolapps          # full-size runs (145 MB permute pipeline)
+//	iolapps -quick   # scaled-down permute
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iolite/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scale the permute pipeline down")
+	flag.Parse()
+	tbl := experiments.Fig13(experiments.Options{Quick: *quick})
+	fmt.Println(tbl.Format())
+}

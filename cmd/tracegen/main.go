@@ -1,0 +1,68 @@
+// Command tracegen generates the synthetic Web traces calibrated to the
+// paper's published workload statistics and prints their characteristics
+// (the data behind Figures 7 and 9).
+//
+// Usage:
+//
+//	tracegen                  # summaries of ECE, CS, MERGED, subtrace
+//	tracegen -trace ECE -points 20
+//	tracegen -subtrace 60     # a 60 MB prefix of the 150 MB subtrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iolite/internal/wload"
+)
+
+func specFor(name string) (wload.TraceSpec, bool) {
+	switch name {
+	case "ECE":
+		return wload.ECE, true
+	case "CS":
+		return wload.CS, true
+	case "MERGED":
+		return wload.MERGED, true
+	case "SUB150", "subtrace":
+		return wload.Subtrace150, true
+	}
+	return wload.TraceSpec{}, false
+}
+
+func describe(tr *wload.Trace, points int) {
+	spec := tr.Spec
+	fmt.Printf("%s: %d files, %d MB, %d logged requests, mean request %d KB\n",
+		spec.Name, spec.Files, tr.DataBytes()>>20, spec.Requests, tr.MeanRequestBytes()>>10)
+	fmt.Printf("%10s %12s %12s\n", "rank", "req frac", "size frac")
+	for _, pt := range tr.CDF(points) {
+		fmt.Printf("%10d %12.4f %12.4f\n", pt.Rank, pt.ReqFrac, pt.SizeFrac)
+	}
+	fmt.Println()
+}
+
+func main() {
+	trace := flag.String("trace", "", "trace name: ECE, CS, MERGED, SUB150 (default: all)")
+	points := flag.Int("points", 12, "CDF points to print")
+	subtrace := flag.Int64("subtrace", 0, "derive an N-MB prefix of the 150 MB subtrace")
+	flag.Parse()
+
+	if *subtrace > 0 {
+		tr := wload.Generate(wload.Subtrace150).Prefix(*subtrace << 20)
+		describe(tr, *points)
+		return
+	}
+	if *trace != "" {
+		spec, ok := specFor(*trace)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q\n", *trace)
+			os.Exit(2)
+		}
+		describe(wload.Generate(spec), *points)
+		return
+	}
+	for _, spec := range []wload.TraceSpec{wload.ECE, wload.CS, wload.MERGED, wload.Subtrace150} {
+		describe(wload.Generate(spec), *points)
+	}
+}

@@ -1,0 +1,35 @@
+// Webserver: serve one document to concurrent HTTP clients with the three
+// server models of the paper — Flash-Lite (IO-Lite API), Flash (mmap +
+// copying writes) and Apache (process-per-connection) — and compare the
+// aggregate bandwidth, a single point of Figure 3.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/experiments"
+)
+
+func main() {
+	const docSize = 64 << 10
+	fmt.Printf("40 clients fetching a %d KB document (nonpersistent connections)\n\n", docSize>>10)
+	for _, sc := range []experiments.ServerConfig{
+		experiments.CfgFlashLite, experiments.CfgFlash, experiments.CfgApache,
+	} {
+		res := experiments.RunWeb(experiments.WebParams{
+			Server:         sc,
+			Clients:        40,
+			SingleFileSize: docSize,
+			Warmup:         time.Second,
+			Measure:        3 * time.Second,
+			Seed:           42,
+		})
+		fmt.Printf("%-12s %7.1f Mb/s  (%6d requests, cpu %.0f%%, errors %d)\n",
+			res.Label, res.Mbps, res.Requests, res.CPUUtil*100, res.Errors)
+	}
+	fmt.Println("\nFlash-Lite wins by avoiding the socket-buffer copy and caching checksums;")
+	fmt.Println("Apache adds process-per-connection overheads on top of Flash's data path.")
+}

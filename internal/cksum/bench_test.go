@@ -1,0 +1,48 @@
+package cksum
+
+import (
+	"testing"
+
+	"iolite/internal/core"
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+func benchAgg(n int) (*core.Agg, *sim.CostModel) {
+	e := sim.New()
+	costs := sim.DefaultCosts()
+	vm := mem.NewVM(e, costs, 512<<20)
+	k := vm.NewDomain("kernel", true)
+	pool := core.NewPool(vm, k, "bench")
+	return core.PackBytes(nil, pool, make([]byte, n)), costs
+}
+
+func BenchmarkSum64K(b *testing.B) {
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func BenchmarkAggregateCold(b *testing.B) {
+	agg, costs := benchAgg(64 << 10)
+	defer agg.Release()
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		c := NewCache(0) // fresh cache: every slice misses
+		c.Aggregate(nil, costs, agg)
+	}
+}
+
+func BenchmarkAggregateCached(b *testing.B) {
+	agg, costs := benchAgg(64 << 10)
+	defer agg.Release()
+	c := NewCache(0)
+	c.Aggregate(nil, costs, agg) // warm
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Aggregate(nil, costs, agg)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// buildAgg constructs an aggregate with the given contents, fragmented into
+// random-sized packed pieces, alongside the reference byte slice.
+func buildAgg(p *sim.Proc, pool *Pool, rng *rand.Rand, data []byte) *Agg {
+	a := NewAgg()
+	for off := 0; off < len(data); {
+		n := 1 + rng.Intn(300)
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		s := pool.Pack(p, data[off:off+n])
+		a.Append(s)
+		s.Buf.Release()
+		off += n
+	}
+	return a
+}
+
+// TestQuickRangeMatchesSlicing: Range(off,n) over any fragmentation equals
+// data[off:off+n].
+func TestQuickRangeMatchesSlicing(t *testing.T) {
+	h := newHarness()
+	h.run(t, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(1))
+		f := func(seed int64, size uint16, offFrac, lenFrac uint8) bool {
+			n := int(size)%4000 + 1
+			data := make([]byte, n)
+			rand.New(rand.NewSource(seed)).Read(data)
+			a := buildAgg(p, h.pool, rng, data)
+			defer a.Release()
+			off := int(offFrac) * n / 256
+			l := int(lenFrac) * (n - off) / 256
+			r := a.Range(off, l)
+			defer r.Release()
+			return bytes.Equal(r.Materialize(), data[off:off+l])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestQuickSplitConcatRoundTrip: splitting at any point and concatenating
+// the halves reproduces the original contents.
+func TestQuickSplitConcatRoundTrip(t *testing.T) {
+	h := newHarness()
+	h.run(t, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(2))
+		f := func(seed int64, size uint16, cutFrac uint8) bool {
+			n := int(size)%4000 + 1
+			data := make([]byte, n)
+			rand.New(rand.NewSource(seed)).Read(data)
+			a := buildAgg(p, h.pool, rng, data)
+			cut := int(cutFrac) * n / 256
+			tail := a.Split(cut)
+			a.Concat(tail)
+			tail.Release()
+			ok := a.Equal(data)
+			a.Release()
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestQuickDropFrontTruncInvariants: after DropFront(d) and Trunc(k), the
+// aggregate equals data[d:d+k] and Len is consistent.
+func TestQuickDropFrontTrunc(t *testing.T) {
+	h := newHarness()
+	h.run(t, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(3))
+		f := func(seed int64, size uint16, dFrac, kFrac uint8) bool {
+			n := int(size)%4000 + 1
+			data := make([]byte, n)
+			rand.New(rand.NewSource(seed)).Read(data)
+			a := buildAgg(p, h.pool, rng, data)
+			defer a.Release()
+			d := int(dFrac) * n / 256
+			a.DropFront(d)
+			k := int(kFrac) * (n - d) / 256
+			a.Trunc(k)
+			return a.Len() == k && a.Equal(data[d:d+k])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestQuickRefcountBalance: any sequence of clone/range/release operations
+// ends with zero live pages once every aggregate is released.
+func TestQuickRefcountBalance(t *testing.T) {
+	h := newHarness()
+	h.run(t, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(4))
+		f := func(seed int64, ops []uint8) bool {
+			data := make([]byte, 2048)
+			rand.New(rand.NewSource(seed)).Read(data)
+			live := []*Agg{buildAgg(p, h.pool, rng, data)}
+			for _, op := range ops {
+				pick := live[int(op)%len(live)]
+				switch op % 3 {
+				case 0:
+					live = append(live, pick.Clone())
+				case 1:
+					if pick.Len() > 1 {
+						live = append(live, pick.Range(pick.Len()/4, pick.Len()/2))
+					}
+				case 2:
+					if pick.Len() > 0 {
+						pick.Trunc(pick.Len() / 2)
+					}
+				}
+			}
+			for _, a := range live {
+				a.Release()
+			}
+			// Only the pool's open packing buffer (≤ one chunk) may stay
+			// live; everything reachable from the aggregates must be freed.
+			return h.pool.LivePages() <= mem.PagesPerChunk
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestQuickEqualAgreesWithMaterialize: the allocation-free comparison agrees
+// with the copying one.
+func TestQuickEqualAgreesWithMaterialize(t *testing.T) {
+	h := newHarness()
+	h.run(t, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(5))
+		f := func(seed int64, size uint16, mutate bool, where uint16) bool {
+			n := int(size)%2000 + 1
+			data := make([]byte, n)
+			rand.New(rand.NewSource(seed)).Read(data)
+			a := buildAgg(p, h.pool, rng, data)
+			defer a.Release()
+			probe := append([]byte{}, data...)
+			if mutate {
+				probe[int(where)%n] ^= 0x5a
+			}
+			return a.Equal(probe) == bytes.Equal(a.Materialize(), probe)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Error(err)
+		}
+	})
+}

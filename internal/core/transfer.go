@@ -1,0 +1,40 @@
+package core
+
+import (
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// Transfer passes an aggregate across a protection-domain boundary (§3.2):
+// for every chunk underlying the aggregate's buffers, the receiving domain
+// is granted read access. Grants are lazy and persistent, so in steady state
+// (recycled buffers on an established I/O stream) a transfer costs no VM
+// work at all and "approaches that of shared memory".
+//
+// It returns the number of chunks that actually needed new mappings, which
+// tests use to verify the fast path.
+func Transfer(p *sim.Proc, a *Agg, to *mem.Domain) int {
+	mapped := 0
+	seen := map[*mem.Chunk]bool{}
+	for _, s := range a.Slices() {
+		c := s.Buf.Chunk()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if c.GrantRead(p, to) {
+			mapped++
+		}
+	}
+	return mapped
+}
+
+// CheckReadable panics unless domain d may read every byte of the aggregate;
+// the simulated kernel calls it where hardware would fault (§3.3:
+// "conventional access control ensures that a process can only access I/O
+// buffers ... explicitly passed to that process").
+func CheckReadable(a *Agg, d *mem.Domain) {
+	for _, s := range a.Slices() {
+		s.Buf.Chunk().CheckRead(d)
+	}
+}

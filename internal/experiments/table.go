@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a figure's data: one row per x-axis point, one column per
+// series, exactly as the paper plots it.
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one x-axis point.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders the table for terminal output.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-18s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%16s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-18s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%16.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Col returns the index of a named column (-1 if absent).
+func (t *Table) Col(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the cell at (row label, column name); ok is false if
+// missing.
+func (t *Table) Value(rowLabel, col string) (float64, bool) {
+	ci := t.Col(col)
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel {
+			if ci < len(r.Values) {
+				return r.Values[ci], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,237 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section 5). Each FigN function builds the corresponding experiment —
+// server configuration, network, workload — runs it on the simulated
+// testbed, and returns a table shaped like the paper's plot. Both
+// bench_test.go and cmd/webbench drive these runners.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iolite/internal/cache"
+	"iolite/internal/fsim"
+	"iolite/internal/httpd"
+	"iolite/internal/kernel"
+	"iolite/internal/mem"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+	"iolite/internal/wload"
+)
+
+// ServerConfig names one server configuration under test.
+type ServerConfig struct {
+	Kind httpd.Kind
+	// Policy selects the Flash-Lite file cache policy: "GDS" (default) or
+	// "LRU" (the Figure 11 ablation). Ignored for conventional servers.
+	Policy string
+	// NoCksumCache disables the checksum cache on Flash-Lite (Figure 11).
+	NoCksumCache bool
+}
+
+// Label renders the configuration name as the paper writes it.
+func (sc ServerConfig) Label() string {
+	l := sc.Kind.String()
+	if sc.Kind == httpd.FlashLite {
+		if sc.Policy == "LRU" {
+			l += " LRU"
+		}
+		if sc.NoCksumCache {
+			l += " no-cksum"
+		}
+	}
+	return l
+}
+
+// Standard configurations.
+var (
+	CfgFlashLite = ServerConfig{Kind: httpd.FlashLite}
+	CfgFlash     = ServerConfig{Kind: httpd.Flash}
+	CfgApache    = ServerConfig{Kind: httpd.Apache}
+)
+
+// WebParams describes one experiment run.
+type WebParams struct {
+	Server ServerConfig
+
+	// Clients is the closed-loop client population, spread over
+	// ClientMachines machines (default 5, as in the testbed).
+	Clients        int
+	ClientMachines int
+	// Persistent selects HTTP/1.1 keep-alive connections.
+	Persistent bool
+	// Delay is the one-way link delay injected by the delay routers
+	// (Figure 12).
+	Delay time.Duration
+	// Tss is the socket send buffer size (default 64 KB).
+	Tss int
+	// MemBytes is server memory (default 128 MB).
+	MemBytes int64
+
+	// Exactly one workload:
+	// SingleFileSize serves one static document of this size (Figs 3-4);
+	SingleFileSize int64
+	// CGISize serves one dynamic document of this size (Figs 5-6);
+	CGISize int64
+	// Trace samples requests from a generated trace (Figs 8, 10-12).
+	Trace *wload.Trace
+
+	// Warmup is excluded from measurement; Measure is the timed window.
+	Warmup  time.Duration
+	Measure time.Duration
+
+	Seed int64
+}
+
+// WebResult is one experiment outcome.
+type WebResult struct {
+	Label    string
+	Mbps     float64
+	Requests int64
+	Errors   int64
+	// HitRate is the file cache hit rate during measurement (unified cache
+	// for Flash-Lite, mmap cache otherwise).
+	HitRate  float64
+	CPUUtil  float64
+	DiskUtil float64
+}
+
+// RunWeb executes one experiment and returns its result.
+func RunWeb(wp WebParams) WebResult {
+	if wp.ClientMachines == 0 {
+		wp.ClientMachines = 5
+	}
+	if wp.Clients == 0 {
+		wp.Clients = 40
+	}
+	if wp.Tss == 0 {
+		wp.Tss = 64 << 10
+	}
+	if wp.MemBytes == 0 {
+		wp.MemBytes = 128 << 20
+	}
+	if wp.Warmup == 0 {
+		wp.Warmup = 2 * time.Second
+	}
+	if wp.Measure == 0 {
+		wp.Measure = 5 * time.Second
+	}
+
+	eng := sim.New()
+	costs := sim.DefaultCosts()
+
+	isLite := wp.Server.Kind == httpd.FlashLite
+	kcfg := kernel.Config{MemBytes: wp.MemBytes}
+	if isLite {
+		if wp.Server.Policy == "LRU" {
+			kcfg.Policy = cache.NewLRU()
+		} else {
+			kcfg.Policy = cache.NewGDS()
+		}
+		kcfg.ChecksumCache = !wp.Server.NoCksumCache
+	}
+	m := kernel.NewMachine(eng, costs, kcfg)
+	lst := netsim.NewListener(m.Host)
+	srv := httpd.NewServer(httpd.Config{
+		Kind:     wp.Server.Kind,
+		Machine:  m,
+		Listener: lst,
+		CGI:      wp.CGISize > 0,
+	})
+
+	// Workload.
+	var nextPath func(rng *rand.Rand) string
+	switch {
+	case wp.SingleFileSize > 0:
+		m.FS.Create("/doc", wp.SingleFileSize)
+		nextPath = func(*rand.Rand) string { return "/doc" }
+	case wp.CGISize > 0:
+		path := httpd.CGIDocPath(wp.CGISize)
+		nextPath = func(*rand.Rand) string { return path }
+	case wp.Trace != nil:
+		wp.Trace.Install(m.FS)
+		tr := wp.Trace
+		nextPath = func(rng *rand.Rand) string { return tr.Path(tr.Sample(rng)) }
+		// Start from steady state: the most popular documents are already
+		// cached, as they would be hours into the paper's runs. Leave
+		// headroom for socket buffers and churn.
+		files := make([]*fsim.File, 0, tr.Spec.Files)
+		for i := 0; i < tr.Spec.Files; i++ {
+			f := m.FS.Lookup(nil, tr.Path(i))
+			files = append(files, f)
+			srv.PrimeOpen(tr.Path(i), f)
+		}
+		keepFree := mem.PagesFor(12 << 20)
+		if isLite {
+			m.PrewarmUnified(files, keepFree)
+		} else {
+			m.PrewarmMmap(srv.Process(), files, keepFree)
+		}
+	default:
+		panic("experiments: no workload configured")
+	}
+
+	// Client machines, links (with delay routers), clients.
+	end := sim.Time(wp.Warmup + wp.Measure)
+	links := make([]*netsim.Link, wp.ClientMachines)
+	hosts := make([]*netsim.Host, wp.ClientMachines)
+	for i := range links {
+		hosts[i] = netsim.NewHost(eng, costs, fmt.Sprintf("client%d", i), false, nil, nil)
+		links[i] = netsim.NewLink(eng, hosts[i], m.Host, 100_000_000, wp.Delay+100*time.Microsecond)
+	}
+	stats := make([]httpd.ClientStats, wp.Clients)
+	for c := 0; c < wp.Clients; c++ {
+		c := c
+		rng := rand.New(rand.NewSource(wp.Seed + int64(c)*7919))
+		cfg := httpd.ClientConfig{
+			Host:       hosts[c%wp.ClientMachines],
+			Link:       links[c%wp.ClientMachines],
+			Listener:   lst,
+			Tss:        wp.Tss,
+			RefServer:  isLite,
+			Persistent: wp.Persistent,
+		}
+		eng.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			httpd.RunClient(p, cfg, func() (string, bool) {
+				if p.Now() >= end {
+					return "", false
+				}
+				return nextPath(rng), true
+			}, &stats[c])
+		})
+	}
+
+	// Snapshot server counters at the warmup boundary and at the end.
+	var warmBytes, warmReqs int64
+	eng.At(sim.Time(wp.Warmup), func() {
+		warmReqs, _, warmBytes = srv.Stats()
+		m.CPU().ResetStats()
+		m.Disk.ResetStats()
+		m.FileCache.ResetStats()
+	})
+	var res WebResult
+	res.Label = wp.Server.Label()
+	eng.At(end, func() {
+		reqs, _, total := srv.Stats()
+		res.Requests = reqs - warmReqs
+		res.Mbps = float64(total-warmBytes) * 8 / wp.Measure.Seconds() / 1e6
+		res.CPUUtil = m.CPU().Utilization()
+		res.DiskUtil = m.Disk.Utilization()
+		var hits, misses int64
+		if isLite {
+			hits, misses, _, _ = m.FileCache.Stats()
+		} else {
+			hits, misses = m.Mmaps.Stats()
+		}
+		if hits+misses > 0 {
+			res.HitRate = float64(hits) / float64(hits+misses)
+		}
+	})
+
+	eng.Run()
+	for i := range stats {
+		res.Errors += stats[i].Errors
+	}
+	return res
+}

@@ -1,0 +1,200 @@
+package fsim
+
+import (
+	"fmt"
+
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// FileID identifies a file for the unified cache (§3.5 keys cache entries by
+// ⟨file-id, offset, length⟩).
+type FileID int64
+
+// File is an inode. Trace-workload files carry synthetic content generated
+// deterministically from (id, offset) so that multi-gigabyte data sets need
+// no real storage; writes overlay real bytes on top.
+type File struct {
+	ID   FileID
+	Name string
+	size int64
+
+	// overlay holds written extents, keyed by page index.
+	overlay map[int64][]byte
+}
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// FS is a flat-namespace file system on one disk, with a metadata cache
+// standing in for the old buffer cache (file system metadata stays there
+// under IO-Lite, §4.2).
+type FS struct {
+	eng   *sim.Engine
+	costs *sim.CostModel
+	vm    *mem.VM
+	disk  *Disk
+
+	files  map[string]*File
+	byID   map[FileID]*File
+	nextID FileID
+
+	// metaHot tracks files whose metadata is cached; a miss costs a disk
+	// read. Bounded; coarsely cleared when full.
+	metaHot map[FileID]bool
+	metaCap int
+
+	metaHits, metaMisses int64
+}
+
+// NewFS creates an empty file system backed by disk. A fixed metadata-cache
+// reservation is charged to the VM under TagMetadata.
+func NewFS(eng *sim.Engine, costs *sim.CostModel, vm *mem.VM, disk *Disk) *FS {
+	fs := &FS{
+		eng:     eng,
+		costs:   costs,
+		vm:      vm,
+		disk:    disk,
+		files:   make(map[string]*File),
+		byID:    make(map[FileID]*File),
+		metaHot: make(map[FileID]bool),
+		metaCap: 131072,
+	}
+	vm.Reserve(mem.TagMetadata, mem.PagesFor(2<<20)) // 2 MB buffer cache for metadata
+	return fs
+}
+
+// Disk returns the backing disk.
+func (fs *FS) Disk() *Disk { return fs.disk }
+
+// Create makes a file of the given size with synthetic content. Creating an
+// existing name truncates it back to synthetic content.
+func (fs *FS) Create(name string, size int64) *File {
+	fs.nextID++
+	f := &File{ID: fs.nextID, Name: name, size: size, overlay: make(map[int64][]byte)}
+	fs.files[name] = f
+	fs.byID[f.ID] = f
+	return f
+}
+
+// Lookup resolves a name, charging the open cost and a metadata disk read
+// if the file's metadata is cold. It returns nil if the name is absent.
+func (fs *FS) Lookup(p *sim.Proc, name string) *File {
+	if p != nil {
+		p.Sleep(fs.costs.FileOpen)
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	if !fs.metaHot[f.ID] {
+		fs.metaMisses++
+		if len(fs.metaHot) >= fs.metaCap {
+			fs.metaHot = make(map[FileID]bool)
+		}
+		fs.metaHot[f.ID] = true
+		if p != nil {
+			fs.disk.Read(p, 512)
+		}
+	} else {
+		fs.metaHits++
+	}
+	return f
+}
+
+// ByID returns the file with the given id.
+func (fs *FS) ByID(id FileID) *File { return fs.byID[id] }
+
+// NumFiles reports how many files exist.
+func (fs *FS) NumFiles() int { return len(fs.files) }
+
+// synthByte returns the deterministic synthetic content byte of file id at
+// absolute offset off. Cheap and stateless so whole pages fill fast.
+func synthByte(id FileID, off int64) byte {
+	x := uint64(off>>3) ^ uint64(id)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return byte(x>>uint((off&7)*8)) | 1 // never zero, catches zeroed-buffer bugs
+}
+
+// fillPage writes the content of file page pg into dst.
+func (f *File) fillPage(pg int64, dst []byte) {
+	if ov, ok := f.overlay[pg]; ok {
+		copy(dst, ov)
+		return
+	}
+	base := pg * mem.PageSize
+	for i := range dst {
+		dst[i] = synthByte(f.ID, base+int64(i))
+	}
+}
+
+// ReadRange reads [off, off+n) of the file from disk into dst, blocking p
+// for the disk time. Content correctness is exact: overlay pages reflect
+// writes; other pages carry synthetic content.
+func (fs *FS) ReadRange(p *sim.Proc, f *File, off int64, dst []byte) {
+	n := int64(len(dst))
+	if off < 0 || off+n > f.size {
+		panic(fmt.Sprintf("fsim: read [%d,%d) beyond size %d of %s", off, off+n, f.size, f.Name))
+	}
+	if p != nil {
+		fs.disk.Read(p, int(n))
+	}
+	// Fill page by page so overlays land exactly.
+	for filled := int64(0); filled < n; {
+		pg := (off + filled) / mem.PageSize
+		pgOff := (off + filled) % mem.PageSize
+		take := mem.PageSize - pgOff
+		if take > n-filled {
+			take = n - filled
+		}
+		var page [mem.PageSize]byte
+		f.fillPage(pg, page[:])
+		copy(dst[filled:filled+take], page[pgOff:pgOff+take])
+		filled += take
+	}
+}
+
+// Expected returns the bytes a correct read of [off, off+n) must produce;
+// tests and clients use it to verify end-to-end data integrity.
+func (fs *FS) Expected(f *File, off, n int64) []byte {
+	dst := make([]byte, n)
+	fs.ReadRange(nil, f, off, dst)
+	return dst
+}
+
+// WriteRange overwrites [off, off+len(src)) of the file, growing it if the
+// write extends past EOF. The disk write is charged asynchronously
+// (write-behind); the caller has already paid any copy costs.
+func (fs *FS) WriteRange(f *File, off int64, src []byte) {
+	n := int64(len(src))
+	if off < 0 {
+		panic("fsim: negative write offset")
+	}
+	if off+n > f.size {
+		f.size = off + n
+	}
+	for written := int64(0); written < n; {
+		pg := (off + written) / mem.PageSize
+		pgOff := (off + written) % mem.PageSize
+		take := mem.PageSize - pgOff
+		if take > n-written {
+			take = n - written
+		}
+		ov, ok := f.overlay[pg]
+		if !ok {
+			ov = make([]byte, mem.PageSize)
+			base := pg * mem.PageSize
+			for i := range ov {
+				ov[i] = synthByte(f.ID, base+int64(i))
+			}
+			f.overlay[pg] = ov
+		}
+		copy(ov[pgOff:pgOff+take], src[written:written+take])
+		written += take
+	}
+	fs.disk.WriteAsync(int(n))
+}
+
+// MetaStats reports metadata cache hits and misses.
+func (fs *FS) MetaStats() (hits, misses int64) { return fs.metaHits, fs.metaMisses }

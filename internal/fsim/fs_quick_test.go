@@ -1,0 +1,89 @@
+package fsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// TestQuickWriteReadRoundTrip: any sequence of random overlapping writes is
+// exactly reflected by subsequent reads, with untouched ranges keeping
+// their synthetic content.
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	e, fs := newFS()
+	const size = 8 * mem.PageSize
+	f := fs.Create("/q", size)
+	shadow := fs.Expected(f, 0, size) // reference model
+
+	rng := rand.New(rand.NewSource(99))
+	check := func(nWrites uint8) bool {
+		ok := true
+		e.Go("t", func(p *sim.Proc) {
+			for i := 0; i < int(nWrites%12)+1; i++ {
+				off := rng.Int63n(size - 1)
+				n := rng.Int63n(size-off-1) + 1
+				data := make([]byte, n)
+				rng.Read(data)
+				fs.WriteRange(f, off, data)
+				copy(shadow[off:off+n], data)
+
+				at := rng.Int63n(size - 1)
+				ln := rng.Int63n(size-at-1) + 1
+				got := make([]byte, ln)
+				fs.ReadRange(p, f, at, got)
+				if !bytes.Equal(got, shadow[at:at+ln]) {
+					ok = false
+					return
+				}
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVMTagInvariant: used + free + overcommit-adjustment always equals
+// total across random reserve/release sequences.
+func TestQuickVMTagInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		e := sim.New()
+		vm := mem.NewVM(e, sim.DefaultCosts(), 16<<20)
+		tags := []mem.Tag{mem.TagApp, mem.TagSockBuf, mem.TagMmap}
+		held := map[mem.Tag]int{}
+		for _, op := range ops {
+			tag := tags[int(op)%len(tags)]
+			n := int(op>>2) % 256
+			if op%2 == 0 {
+				vm.Reserve(tag, n)
+				held[tag] += n
+			} else {
+				if held[tag] < n {
+					n = held[tag]
+				}
+				vm.Release(tag, n)
+				held[tag] -= n
+			}
+			sum := 0
+			for _, tg := range tags {
+				if vm.UsedBy(tg) != held[tg] {
+					return false
+				}
+				sum += held[tg]
+			}
+			if sum+vm.FreePages()-vm.Overcommitted() != vm.TotalPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

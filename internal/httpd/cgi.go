@@ -1,0 +1,204 @@
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"iolite/internal/core"
+	"iolite/internal/ipcsim"
+	"iolite/internal/kernel"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// cgiRequestWork is the worker's per-request processing beyond moving data.
+const cgiRequestWork = 20 * time.Microsecond
+
+// cgiPool is a FastCGI-style pool of persistent worker processes (§5.3:
+// FastCGI amortizes fork/exec across requests; the remaining costs are pipe
+// IPC and buffering).
+type cgiPool struct {
+	s       *Server
+	idle    []*cgiWorker
+	wait    sim.WaitQueue
+	workers []*cgiWorker
+}
+
+// cgiWorker is one persistent CGI process connected to the server by a
+// request pipe and a response pipe.
+type cgiWorker struct {
+	s    *Server
+	proc *kernel.Process
+	req  *ipcsim.Pipe // server → worker: request line
+	resp *ipcsim.Pipe // worker → server: document
+
+	// docs caches generated documents by size: the baseline keeps plain
+	// bytes in its address space; the IO-Lite worker keeps aggregates in
+	// its own pool ("caching CGI programs", §3.10).
+	docsRaw map[int64][]byte
+	docsAgg map[int64]*core.Agg
+}
+
+func newCGIPool(s *Server, n int) *cgiPool {
+	pool := &cgiPool{s: s}
+	respMode := ipcsim.ModeCopy
+	if s.cfg.Kind == FlashLite {
+		respMode = ipcsim.ModeRef
+	}
+	for i := 0; i < n; i++ {
+		w := &cgiWorker{
+			s:       s,
+			proc:    s.m.NewProcess(fmt.Sprintf("cgi%d", i), 2<<20),
+			docsRaw: make(map[int64][]byte),
+			docsAgg: make(map[int64]*core.Agg),
+		}
+		w.req = s.m.NewPipe(ipcsim.ModeCopy, w.proc) // requests are tiny: always copied
+		w.resp = s.m.NewPipe(respMode, s.proc)
+		pool.workers = append(pool.workers, w)
+		pool.idle = append(pool.idle, w)
+		s.m.Eng.Go(w.proc.Name, w.run)
+	}
+	return pool
+}
+
+// acquire takes an idle worker, blocking if all are busy.
+func (cp *cgiPool) acquire(p *sim.Proc) *cgiWorker {
+	for len(cp.idle) == 0 {
+		cp.wait.Wait(p)
+	}
+	w := cp.idle[len(cp.idle)-1]
+	cp.idle = cp.idle[:len(cp.idle)-1]
+	return w
+}
+
+func (cp *cgiPool) release(w *cgiWorker) {
+	cp.idle = append(cp.idle, w)
+	cp.wait.Wake(1)
+}
+
+// CGIDocPath names a dynamic document of n bytes.
+func CGIDocPath(n int64) string { return fmt.Sprintf("/cgi/%d", n) }
+
+// parseCGISize extracts the document size from a CGI path.
+func parseCGISize(path string) (int64, bool) {
+	if !strings.HasPrefix(path, "/cgi/") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(path[len("/cgi/"):], 10, 64)
+	return n, err == nil && n > 0
+}
+
+// cgiDoc deterministically generates document content for a size.
+func cgiDoc(n int64) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i*11 + 3)
+	}
+	return d
+}
+
+// run is the worker's main loop: read a request line, produce the document
+// on the response pipe.
+func (w *cgiWorker) run(p *sim.Proc) {
+	m := w.s.m
+	line := make([]byte, 0, 64)
+	buf := make([]byte, 64)
+	for {
+		// Read one newline-terminated request.
+		for !strings.Contains(string(line), "\n") {
+			n := w.req.Read(p, buf)
+			if n == 0 {
+				return // server shut the pipe
+			}
+			line = append(line, buf[:n]...)
+		}
+		idx := strings.IndexByte(string(line), '\n')
+		path := string(line[:idx])
+		line = append(line[:0], line[idx+1:]...)
+
+		size, ok := parseCGISize(path)
+		if !ok {
+			size = 1
+		}
+		m.Host.Use(p, cgiRequestWork)
+
+		if w.s.cfg.Kind == FlashLite {
+			// The caching IO-Lite CGI program: the document lives in the
+			// worker's own buffer pool (its ACL isolates it until the pipe
+			// transfer grants the server access, §3.10); repeat requests
+			// reuse the same immutable buffers, so even TCP checksums stay
+			// cached downstream.
+			agg, hit := w.docsAgg[size]
+			if !hit {
+				agg = core.PackBytes(p, w.proc.Pool, cgiDoc(size))
+				w.docsAgg[size] = agg
+			}
+			w.resp.WriteAgg(p, agg.Clone())
+		} else {
+			// Conventional FastCGI: the document crosses the pipe by copy
+			// (once in, once out) and will be copied again into socket
+			// buffers by the server.
+			doc, hit := w.docsRaw[size]
+			if !hit {
+				doc = cgiDoc(size)
+				w.docsRaw[size] = doc
+			}
+			m.Host.Use(p, m.Costs.Syscall)
+			w.resp.Write(p, []byte(fmt.Sprintf("%d\n", size)))
+			w.resp.Write(p, doc)
+		}
+	}
+}
+
+// serveCGI forwards the request to a worker and relays its document to the
+// client.
+func (s *Server) serveCGI(p *sim.Proc, ep *netsim.Endpoint, path string) {
+	w := s.cgi.acquire(p)
+	defer s.cgi.release(w)
+
+	w.req.Write(p, []byte(path+"\n"))
+
+	if s.cfg.Kind == FlashLite {
+		body := w.resp.ReadAgg(p)
+		if body == nil {
+			return
+		}
+		hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(body.Len()))
+		resp := core.PackBytes(p, s.proc.Pool, hdr)
+		resp.Concat(body)
+		n := int64(body.Len())
+		body.Release()
+		s.m.SendIOL(p, s.proc, ep, resp, nil)
+		s.bytesBody += n
+		s.bytesTotal += n + int64(len(hdr))
+		return
+	}
+
+	// Baseline: read the length line, then stream the document.
+	var head []byte
+	tmp := make([]byte, 16384)
+	for !strings.Contains(string(head), "\n") {
+		n := w.resp.Read(p, tmp)
+		if n == 0 {
+			return
+		}
+		head = append(head, tmp[:n]...)
+	}
+	idx := strings.IndexByte(string(head), '\n')
+	size, _ := strconv.ParseInt(string(head[:idx]), 10, 64)
+	body := append([]byte(nil), head[idx+1:]...)
+	for int64(len(body)) < size {
+		n := w.resp.Read(p, tmp)
+		if n == 0 {
+			break
+		}
+		body = append(body, tmp[:n]...)
+	}
+	hdr := FormatResponseHeader(s.cfg.Kind.String(), size)
+	s.m.SendCopy(p, ep, hdr, nil)
+	s.m.SendCopy(p, ep, body, nil)
+	s.bytesBody += size
+	s.bytesTotal += size + int64(len(hdr))
+}

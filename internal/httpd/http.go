@@ -1,0 +1,74 @@
+// Package httpd implements the paper's measured applications: an
+// event-driven Web server in three configurations — Flash-Lite (IO-Lite
+// API: copy-free serving, checksum caching, customizable file cache
+// replacement), Flash (aggressively optimized conventional server using
+// mmap), and an Apache-like process-per-connection server — plus
+// FastCGI-style dynamic content workers over pipes (§3.10, §5) and the
+// closed-loop HTTP clients that drive them.
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatRequest renders a minimal HTTP request.
+func FormatRequest(path string, keepalive bool) []byte {
+	conn := "close"
+	if keepalive {
+		conn = "keep-alive"
+	}
+	return []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: server\r\nConnection: %s\r\n\r\n", path, conn))
+}
+
+// ParseRequest extracts the path and keep-alive flag from a complete
+// request. ok is false if req is not yet complete (no blank line).
+func ParseRequest(req []byte) (path string, keepalive, ok bool) {
+	s := string(req)
+	if !strings.Contains(s, "\r\n\r\n") {
+		return "", false, false
+	}
+	if !strings.HasPrefix(s, "GET ") {
+		return "", false, false
+	}
+	rest := s[4:]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return "", false, false
+	}
+	path = rest[:sp]
+	keepalive = strings.Contains(s, "keep-alive")
+	return path, keepalive, true
+}
+
+// FormatResponseHeader renders the response header for a body of n bytes.
+func FormatResponseHeader(server string, n int64) []byte {
+	return []byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Length: %d\r\n\r\n", server, n))
+}
+
+// ParseResponseHeader finds the header/body split and the content length.
+// ok is false until the full header has arrived.
+func ParseResponseHeader(data []byte) (bodyStart int, contentLen int64, ok bool) {
+	s := string(data)
+	end := strings.Index(s, "\r\n\r\n")
+	if end < 0 {
+		return 0, 0, false
+	}
+	bodyStart = end + 4
+	const key = "Content-Length: "
+	i := strings.Index(s, key)
+	if i < 0 || i > end {
+		return 0, 0, false
+	}
+	rest := s[i+len(key):]
+	j := strings.IndexByte(rest, '\r')
+	if j < 0 {
+		return 0, 0, false
+	}
+	n, err := strconv.ParseInt(rest[:j], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return bodyStart, n, true
+}

@@ -1,0 +1,258 @@
+package httpd
+
+import (
+	"time"
+
+	"iolite/internal/core"
+	"iolite/internal/fsim"
+	"iolite/internal/kernel"
+	"iolite/internal/mem"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// Kind selects the server implementation.
+type Kind int
+
+// The three measured servers (§5).
+const (
+	// FlashLite is Flash ported to the IO-Lite API: IOL_read from the
+	// unified cache, header concatenation by aggregate, IOL_write to the
+	// socket, cached checksums, customizable cache replacement.
+	FlashLite Kind = iota
+	// Flash is the aggressive conventional event-driven server: mmap'd
+	// files (no read copy), one copy into socket buffers per send,
+	// checksums computed every time.
+	Flash
+	// Apache models a process-per-connection server: Flash's data path
+	// plus per-request process overheads and per-connection memory.
+	Apache
+)
+
+// String names the kind as in the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case FlashLite:
+		return "Flash-Lite"
+	case Flash:
+		return "Flash"
+	case Apache:
+		return "Apache"
+	}
+	return "unknown"
+}
+
+// Per-request server overheads beyond syscalls and data work. Flash's
+// event-driven request handling is lean; Apache's process-per-connection
+// model adds scheduling and bookkeeping (§5.2 observes Apache cannot
+// exploit persistent connections).
+const (
+	flashRequestWork  = 35 * time.Microsecond
+	apacheRequestWork = 250 * time.Microsecond
+	apacheConnMem     = 300 << 10 // per-connection process memory
+	apacheMaxClients  = 150
+)
+
+// Config configures a server.
+type Config struct {
+	Kind     Kind
+	Machine  *kernel.Machine
+	Listener *netsim.Listener
+	// CGI serves every request through a FastCGI-style worker instead of
+	// the static file path (§5.3).
+	CGI bool
+	// CGIWorkers is the FastCGI worker pool size (default 8).
+	CGIWorkers int
+}
+
+// Server is a running web server.
+type Server struct {
+	cfg  Config
+	m    *kernel.Machine
+	proc *kernel.Process
+
+	// openFiles caches name→file like Flash's open-FD cache; the first
+	// lookup pays the FS open costs.
+	openFiles map[string]*fsim.File
+
+	// Apache's connection slots.
+	slots    int
+	slotWait sim.WaitQueue
+
+	cgi *cgiPool
+
+	requests   int64
+	bytesBody  int64
+	bytesTotal int64
+}
+
+// NewServer creates and starts a server on cfg.Listener.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		m:         cfg.Machine,
+		openFiles: make(map[string]*fsim.File),
+		slots:     apacheMaxClients,
+	}
+	s.proc = s.m.NewProcess("httpd", 2<<20)
+	if cfg.CGI {
+		n := cfg.CGIWorkers
+		if n <= 0 {
+			n = 8
+		}
+		s.cgi = newCGIPool(s, n)
+	}
+	s.m.Eng.Go("httpd.accept", s.acceptLoop)
+	return s
+}
+
+// Process returns the server's kernel process (its protection domain).
+func (s *Server) Process() *kernel.Process { return s.proc }
+
+// PrimeOpen seeds the server's open-file cache, as a long-running server
+// would have done during warmup (experiments start from steady state).
+func (s *Server) PrimeOpen(path string, f *fsim.File) {
+	s.openFiles[path] = f
+}
+
+// Stats reports requests served and body/total bytes sent.
+func (s *Server) Stats() (requests, bodyBytes, totalBytes int64) {
+	return s.requests, s.bytesBody, s.bytesTotal
+}
+
+// ResetStats zeroes the counters (used when an experiment discards warmup).
+func (s *Server) ResetStats() {
+	s.requests, s.bytesBody, s.bytesTotal = 0, 0, 0
+}
+
+func (s *Server) acceptLoop(p *sim.Proc) {
+	for {
+		conn := s.cfg.Listener.Accept(p)
+		if conn == nil {
+			return
+		}
+		if s.cfg.Kind == Apache {
+			for s.slots == 0 {
+				s.slotWait.Wait(p)
+			}
+			s.slots--
+			s.m.VM.Reserve(mem.TagProc, mem.PagesFor(apacheConnMem))
+		}
+		c := conn
+		s.m.Eng.Go("httpd.conn", func(hp *sim.Proc) {
+			s.handleConn(hp, c.ServerEnd())
+			if s.cfg.Kind == Apache {
+				s.m.VM.Release(mem.TagProc, mem.PagesFor(apacheConnMem))
+				s.slots++
+				s.slotWait.Wake(1)
+			}
+		})
+	}
+}
+
+// handleConn serves requests on one connection until close.
+func (s *Server) handleConn(p *sim.Proc, ep *netsim.Endpoint) {
+	var pending []byte
+	for {
+		// Accumulate a complete request.
+		var path string
+		var keepalive, ok bool
+		for {
+			path, keepalive, ok = ParseRequest(pending)
+			if ok {
+				pending = nil
+				break
+			}
+			var data []byte
+			var alive bool
+			if s.cfg.Kind == FlashLite {
+				data, alive = s.m.RecvIOL(p, s.proc, ep)
+			} else {
+				data, alive = s.m.RecvCopy(p, ep)
+			}
+			if !alive {
+				ep.Close(p)
+				return
+			}
+			pending = append(pending, data...)
+		}
+
+		s.m.Host.Use(p, s.requestWork())
+
+		if s.cfg.CGI {
+			s.serveCGI(p, ep, path)
+		} else {
+			s.serveStatic(p, ep, path)
+		}
+		s.requests++
+
+		if !keepalive {
+			ep.Close(p)
+			return
+		}
+	}
+}
+
+func (s *Server) requestWork() time.Duration {
+	if s.cfg.Kind == Apache {
+		return apacheRequestWork
+	}
+	return flashRequestWork
+}
+
+// openCached resolves a path through the server's open-file cache.
+func (s *Server) openCached(p *sim.Proc, path string) *fsim.File {
+	if f, ok := s.openFiles[path]; ok {
+		s.m.Host.Use(p, s.m.Costs.CacheLookup)
+		return f
+	}
+	f := s.m.Open(p, path)
+	if f != nil {
+		s.openFiles[path] = f
+	}
+	return f
+}
+
+// serveStatic sends a file.
+func (s *Server) serveStatic(p *sim.Proc, ep *netsim.Endpoint, path string) {
+	f := s.openCached(p, path)
+	if f == nil {
+		s.m.SendCopy(p, ep, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"), nil)
+		return
+	}
+	hdr := FormatResponseHeader(s.cfg.Kind.String(), f.Size())
+	switch s.cfg.Kind {
+	case FlashLite:
+		// §3.10: IOL_read the document, concatenate a freshly generated
+		// response header, IOL_write the aggregate. If the document is
+		// cached, the only data-touching work left is the header.
+		body := s.m.IOLRead(p, s.proc, f, 0, f.Size())
+		resp := core.PackBytes(p, s.proc.Pool, hdr)
+		resp.Concat(body)
+		body.Release()
+		s.m.SendIOL(p, s.proc, ep, resp, nil)
+	case Flash:
+		// mmap avoids the read-side copy; the send still copies into
+		// socket buffers and checksums every byte.
+		mp := s.m.Mmap(p, s.proc, f)
+		s.m.SendCopy(p, ep, hdr, nil)
+		s.m.SendCopy(p, ep, mp.Bytes(0, f.Size()), nil)
+	case Apache:
+		// Apache 1.3 walks the mmap'd file in 8 KB hunks, one write(2) per
+		// hunk, after its buffered-output (BUFF) layer has staged the data
+		// in a user buffer — one more copy than Flash's direct writev.
+		mp := s.m.Mmap(p, s.proc, f)
+		s.m.SendCopy(p, ep, hdr, nil)
+		const hunk = 8 << 10
+		for off := int64(0); off < f.Size(); off += hunk {
+			n := f.Size() - off
+			if n > hunk {
+				n = hunk
+			}
+			s.m.Host.Use(p, s.m.Costs.Copy(int(n))) // BUFF staging copy
+			s.m.SendCopy(p, ep, mp.Bytes(off, n), nil)
+		}
+	}
+	s.bytesBody += f.Size()
+	s.bytesTotal += f.Size() + int64(len(hdr))
+}

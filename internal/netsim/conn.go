@@ -1,0 +1,412 @@
+package netsim
+
+import (
+	"fmt"
+
+	"iolite/internal/core"
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// Payload is the data of one send: either an IO-Lite aggregate (reference
+// mode — ownership transfers to the transport, which releases buffers as
+// the peer acknowledges) or a private byte slice (copy mode; the kernel has
+// already charged the copy into socket buffers).
+type Payload struct {
+	Agg  *core.Agg
+	Data []byte
+}
+
+// Len returns the payload length.
+func (pl Payload) Len() int {
+	if pl.Agg != nil {
+		return pl.Agg.Len()
+	}
+	return len(pl.Data)
+}
+
+// Delivery is one received chunk, in arrival order. Exactly one of Agg/Data
+// is set, mirroring the sender's mode.
+type Delivery struct {
+	Agg  *core.Agg
+	Data []byte
+}
+
+// Len returns the delivered byte count.
+func (d Delivery) Len() int {
+	if d.Agg != nil {
+		return d.Agg.Len()
+	}
+	return len(d.Data)
+}
+
+// Bytes materializes the delivered data (copying for aggregates).
+func (d Delivery) Bytes() []byte {
+	if d.Agg != nil {
+		return d.Agg.Materialize()
+	}
+	return d.Data
+}
+
+// Release drops any buffer references the delivery holds.
+func (d Delivery) Release() {
+	if d.Agg != nil {
+		d.Agg.Release()
+	}
+}
+
+// ConnOpts configures one connection.
+type ConnOpts struct {
+	// Tss is the socket send buffer size in bytes (64 KB in all the paper's
+	// experiments). At most Tss bytes may be queued or in flight, which
+	// also caps the connection's throughput at Tss/RTT (§5.7).
+	Tss int
+	// ServerRefMode selects the IO-Lite send path for the server-side
+	// endpoint: payload passes by reference, checksums may be cached, and
+	// no socket-buffer memory is consumed.
+	ServerRefMode bool
+}
+
+// Conn is an established connection. The two directions are independent
+// endpoints.
+type Conn struct {
+	client *Endpoint
+	server *Endpoint
+}
+
+// ClientEnd returns the endpoint used by the client process.
+func (c *Conn) ClientEnd() *Endpoint { return c.client }
+
+// ServerEnd returns the endpoint used by the server process.
+func (c *Conn) ServerEnd() *Endpoint { return c.server }
+
+// sendItem is admitted payload awaiting segmentation. done fires when the
+// item's last byte is acknowledged.
+type sendItem struct {
+	pl   Payload
+	off  int
+	done func()
+}
+
+// ackRecord tracks one in-flight segment so acknowledgments release
+// resources in order.
+type ackRecord struct {
+	n    int
+	agg  *core.Agg // reference-mode segment payload, released on ack
+	done func()
+}
+
+// Endpoint is one direction's sender plus the opposite direction's
+// receiver, owned by one host.
+type Endpoint struct {
+	host *Host
+	peer *Endpoint
+	link *Link
+	dir  int
+
+	refMode bool
+	tss     int
+
+	// Sender state.
+	sndQ      []*sendItem
+	sndBytes  int // admitted (queued-unsent + in-flight) bytes, ≤ tss
+	ackFIFO   []ackRecord
+	sndWait   sim.WaitQueue
+	pump      *sim.Proc
+	pumpIdle  bool
+	closing   bool
+	finSent   bool
+	sockPages int // TagSockBuf pages currently reserved (copy mode)
+
+	// Receiver state.
+	rcvQ      []Delivery
+	rcvWait   sim.WaitQueue
+	rcvClosed bool
+}
+
+// newConn wires two endpoints over link. clientHost dials serverHost.
+func newConn(clientHost, serverHost *Host, link *Link, opts ConnOpts) *Conn {
+	if opts.Tss <= 0 {
+		opts.Tss = 64 << 10
+	}
+	c := &Conn{}
+	c.client = &Endpoint{host: clientHost, link: link, dir: link.dirFrom(clientHost), tss: opts.Tss}
+	c.server = &Endpoint{host: serverHost, link: link, dir: link.dirFrom(serverHost), tss: opts.Tss, refMode: opts.ServerRefMode}
+	c.client.peer = c.server
+	c.server.peer = c.client
+	c.client.startPump()
+	c.server.startPump()
+	return c
+}
+
+// Host returns the endpoint's host.
+func (e *Endpoint) Host() *Host { return e.host }
+
+// RefMode reports whether this endpoint sends by reference.
+func (e *Endpoint) RefMode() bool { return e.refMode }
+
+// SockBufPages reports the copy-mode socket-buffer pages this endpoint
+// currently pins (the Figure 12 memory effect).
+func (e *Endpoint) SockBufPages() int { return e.sockPages }
+
+// Send queues a payload for transmission, blocking while the socket send
+// buffer is full — payload is admitted piecewise as space frees, exactly
+// like a blocking write(2). In reference mode the endpoint takes ownership
+// of pl.Agg. done, if non-nil, runs when the whole payload is acknowledged.
+func (e *Endpoint) Send(p *sim.Proc, pl Payload, done func()) {
+	if e.closing {
+		panic("netsim: send on closed endpoint")
+	}
+	n := pl.Len()
+	if n == 0 {
+		if pl.Agg != nil {
+			pl.Agg.Release()
+		}
+		if done != nil {
+			done()
+		}
+		return
+	}
+	for off := 0; off < n; {
+		for e.sndBytes >= e.tss {
+			e.sndWait.Wait(p)
+		}
+		take := n - off
+		if room := e.tss - e.sndBytes; take > room {
+			take = room
+		}
+		var piece Payload
+		if pl.Agg != nil {
+			piece.Agg = pl.Agg.Range(off, take)
+		} else {
+			piece.Data = pl.Data[off : off+take]
+		}
+		var cb func()
+		if off+take == n {
+			cb = done
+		}
+		e.sndBytes += take
+		if !e.refMode {
+			e.reserveSock()
+		}
+		e.sndQ = append(e.sndQ, &sendItem{pl: piece, done: cb})
+		e.wakePump()
+		off += take
+	}
+	if pl.Agg != nil {
+		pl.Agg.Release() // admitted pieces hold their own references
+	}
+}
+
+// reserveSock adjusts TagSockBuf page accounting to current occupancy.
+func (e *Endpoint) reserveSock() {
+	if e.host.vm == nil {
+		return
+	}
+	want := mem.PagesFor(e.sndBytes)
+	if want > e.sockPages {
+		e.host.vm.Reserve(mem.TagSockBuf, want-e.sockPages)
+		e.sockPages = want
+	} else if want < e.sockPages {
+		e.host.vm.Release(mem.TagSockBuf, e.sockPages-want)
+		e.sockPages = want
+	}
+}
+
+func (e *Endpoint) wakePump() {
+	if e.pumpIdle {
+		e.pumpIdle = false
+		e.pump.Unpark()
+	}
+}
+
+// startPump launches the endpoint's sender process.
+func (e *Endpoint) startPump() {
+	e.pump = e.host.eng.Go(e.host.Name+".snd", func(p *sim.Proc) {
+		e.runPump(p)
+	})
+}
+
+// runPump segments admitted payload at the MSS, charges per-packet protocol
+// and checksum work, serializes on the wire, and schedules delivery after
+// the propagation delay.
+func (e *Endpoint) runPump(p *sim.Proc) {
+	costs := e.host.costs
+	for {
+		if len(e.sndQ) == 0 {
+			if e.closing && !e.finSent && len(e.ackFIFO) == 0 {
+				e.finSent = true
+				e.transmitFIN(p)
+				return
+			}
+			if e.finSent {
+				return
+			}
+			e.pumpIdle = true
+			p.Park()
+			continue
+		}
+		item := e.sndQ[0]
+		n := item.pl.Len() - item.off
+		if n > MSS {
+			n = MSS
+		}
+
+		var segAgg *core.Agg
+		var segData []byte
+		cpu := costs.MbufAlloc + costs.Packet
+		if item.pl.Agg != nil {
+			segAgg = item.pl.Agg.Range(item.off, n)
+			if e.host.ck != nil {
+				// Checksum cache: only cold slices cost CPU (§3.9); the
+				// cache charges p internally for misses.
+				e.host.Use(p, cpu)
+				e.host.ck.Aggregate(p, costs, segAgg)
+				cpu = 0
+			} else {
+				cpu += costs.Cksum(n)
+			}
+		} else {
+			segData = item.pl.Data[item.off : item.off+n]
+			cpu += costs.Cksum(n)
+		}
+		if cpu > 0 {
+			e.host.Use(p, cpu)
+		}
+
+		item.off += n
+		var done func()
+		if item.off == item.pl.Len() {
+			done = item.done
+			if item.pl.Agg != nil {
+				item.pl.Agg.Release() // segments hold their own references
+			}
+			e.sndQ = e.sndQ[1:]
+		}
+		e.ackFIFO = append(e.ackFIFO, ackRecord{n: n, agg: segAgg, done: done})
+		e.transmitData(p, n, segAgg, segData)
+
+		e.host.pktsOut++
+		e.host.bytesOut += int64(n)
+	}
+}
+
+// transmitData serializes one data segment on the wire and schedules its
+// delivery at the peer.
+func (e *Endpoint) transmitData(p *sim.Proc, n int, agg *core.Agg, data []byte) {
+	link := e.link
+	link.wire[e.dir].Use(p, link.txTime(n+HeaderLen))
+	peer := e.peer
+	e.host.eng.After(link.delay, func() {
+		peer.deliver(n, agg, data)
+	})
+}
+
+// transmitFIN sends the half-close marker.
+func (e *Endpoint) transmitFIN(p *sim.Proc) {
+	link := e.link
+	e.host.Use(p, e.host.costs.Packet/2)
+	link.wire[e.dir].Use(p, link.txTime(HeaderLen))
+	peer := e.peer
+	e.host.eng.After(link.delay, func() {
+		peer.host.charge(peer.host.costs.Packet/2, func() {
+			peer.rcvClosed = true
+			peer.rcvWait.Wake(-1)
+		})
+	})
+}
+
+// deliver runs when a data segment arrives at the receiving host: interrupt
+// and early-demultiplexing work, checksum verification, reader wake-up, and
+// the acknowledgment back to the sender.
+func (e *Endpoint) deliver(n int, agg *core.Agg, data []byte) {
+	costs := e.host.costs
+	cpu := costs.Interrupt + costs.Packet + costs.Demux + costs.Cksum(n)
+	e.host.charge(cpu, func() {
+		e.host.pktsIn++
+		e.host.bytesIn += int64(n)
+		d := Delivery{}
+		if agg != nil {
+			d.Agg = agg.Clone() // receiver's reference; sender's released on ack
+		} else {
+			// Copy mode: wire bytes land in receive socket buffers; a later
+			// Recv copies them out to the application.
+			d.Data = append([]byte(nil), data...)
+		}
+		e.rcvQ = append(e.rcvQ, d)
+		e.rcvWait.Wake(-1)
+		e.sendAck(n)
+	})
+}
+
+// sendAck returns an acknowledgment for n bytes to the peer (the data
+// sender).
+func (e *Endpoint) sendAck(n int) {
+	link := e.link
+	done := link.wire[e.dir].UseAsync(link.txTime(AckLen), nil)
+	sender := e.peer
+	e.host.eng.At(done.Add(link.delay), func() {
+		sender.host.charge(sender.host.costs.Packet/2, func() {
+			sender.acked(n)
+		})
+	})
+}
+
+// acked releases send-buffer space and segment resources for n
+// acknowledged bytes.
+func (e *Endpoint) acked(n int) {
+	if len(e.ackFIFO) == 0 {
+		panic("netsim: ack with empty FIFO")
+	}
+	rec := e.ackFIFO[0]
+	if rec.n != n {
+		panic(fmt.Sprintf("netsim: ack of %d bytes, head segment %d", n, rec.n))
+	}
+	e.ackFIFO = e.ackFIFO[1:]
+	if rec.agg != nil {
+		rec.agg.Release()
+	}
+	e.sndBytes -= n
+	if !e.refMode {
+		e.reserveSock()
+	}
+	e.sndWait.Wake(-1)
+	if rec.done != nil {
+		rec.done()
+	}
+	if e.closing && len(e.sndQ) == 0 && len(e.ackFIFO) == 0 {
+		e.wakePump()
+	}
+}
+
+// Recv returns the next delivered chunk, blocking until data or the peer's
+// half-close arrives. ok is false at end of stream.
+func (e *Endpoint) Recv(p *sim.Proc) (Delivery, bool) {
+	for len(e.rcvQ) == 0 {
+		if e.rcvClosed {
+			return Delivery{}, false
+		}
+		e.rcvWait.Wait(p)
+	}
+	d := e.rcvQ[0]
+	e.rcvQ = e.rcvQ[1:]
+	return d, true
+}
+
+// Close half-closes the endpoint's send direction: queued data drains, then
+// a FIN is sent. The teardown cost is charged to the closer.
+func (e *Endpoint) Close(p *sim.Proc) {
+	if e.closing {
+		return
+	}
+	e.closing = true
+	e.host.Use(p, e.host.costs.TCPTeardown)
+	e.wakePump()
+}
+
+// Drain blocks p until every admitted byte has been acknowledged.
+func (e *Endpoint) Drain(p *sim.Proc) {
+	for e.sndBytes > 0 {
+		e.sndWait.Wait(p)
+	}
+}

@@ -1,0 +1,137 @@
+// Package netsim is the network substrate: hosts, links with bandwidth and
+// delay (including the §5.7 "delay router"), and a simplified TCP-like
+// reliable transport whose send path runs in either copy mode (BSD-style
+// socket buffers holding private copies of the data) or reference mode
+// (mbufs encapsulating IO-Lite buffers out of line, §4.1, with early
+// demultiplexing §3.6 and checksum caching §3.9).
+//
+// Payload bytes really flow end to end, so tests verify both data integrity
+// and the absence of copies on the IO-Lite path.
+package netsim
+
+import (
+	"iolite/internal/cksum"
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+// Protocol constants: Ethernet MTU minus TCP/IP headers, header sizes.
+const (
+	MSS        = 1460
+	HeaderLen  = 40
+	AckLen     = HeaderLen
+	EthOverlay = 18 // Ethernet framing overhead per packet on the wire
+)
+
+// Host is one machine on the network.
+type Host struct {
+	Name  string
+	eng   *sim.Engine
+	costs *sim.CostModel
+
+	// cpu serializes all protocol processing and (for servers) application
+	// work on this host. A nil cpu models an uncharged host: the client
+	// machines exist to generate load, not to be measured.
+	cpu *sim.Resource
+
+	// vm, when non-nil, accounts socket-buffer memory (copy-mode sends
+	// reserve TagSockBuf pages until data is acknowledged).
+	vm *mem.VM
+
+	// ck, when non-nil, enables the cross-subsystem checksum cache for
+	// reference-mode sends from this host.
+	ck *cksum.Cache
+
+	pktsOut, pktsIn   int64
+	bytesOut, bytesIn int64
+}
+
+// NewHost creates a host. charged selects whether the host has a measured
+// CPU; vm and ck may be nil.
+func NewHost(eng *sim.Engine, costs *sim.CostModel, name string, charged bool, vm *mem.VM, ck *cksum.Cache) *Host {
+	h := &Host{Name: name, eng: eng, costs: costs, vm: vm, ck: ck}
+	if charged {
+		h.cpu = sim.NewResource(eng, name+".cpu")
+	}
+	return h
+}
+
+// CPU returns the host's CPU resource (nil for uncharged hosts).
+func (h *Host) CPU() *sim.Resource { return h.cpu }
+
+// VM returns the host's memory manager (nil if untracked).
+func (h *Host) VM() *mem.VM { return h.vm }
+
+// CkCache returns the host's checksum cache (nil if disabled).
+func (h *Host) CkCache() *cksum.Cache { return h.ck }
+
+// Use charges d of CPU time to proc p, queueing behind other work on this
+// host. Free-CPU hosts advance p by d without contention so that client
+// pacing still exists but is never the bottleneck.
+func (h *Host) Use(p *sim.Proc, d sim.Duration) {
+	if h.cpu != nil {
+		h.cpu.Use(p, d)
+		return
+	}
+	if d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// charge accounts CPU work that is not attached to a blocked process
+// (interrupt-level receive processing), then runs fn when the CPU gets to
+// it.
+func (h *Host) charge(d sim.Duration, fn func()) {
+	if h.cpu != nil {
+		h.cpu.UseAsync(d, fn)
+		return
+	}
+	h.eng.After(d, fn)
+}
+
+// Stats reports packet and byte counters.
+func (h *Host) Stats() (pktsOut, pktsIn, bytesOut, bytesIn int64) {
+	return h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn
+}
+
+// Link is a full-duplex point-to-point link: each direction has independent
+// serialization at the configured bandwidth, plus a one-way propagation
+// delay. The Figure 12 delay router is modelled by raising Delay.
+type Link struct {
+	eng   *sim.Engine
+	bps   int64
+	delay sim.Duration
+	wire  [2]*sim.Resource
+	ends  [2]*Host
+}
+
+// NewLink connects a and b with the given bit rate and one-way delay.
+func NewLink(eng *sim.Engine, a, b *Host, bitsPerSec int64, delay sim.Duration) *Link {
+	return &Link{
+		eng:   eng,
+		bps:   bitsPerSec,
+		delay: delay,
+		wire:  [2]*sim.Resource{sim.NewResource(eng, "wire0"), sim.NewResource(eng, "wire1")},
+		ends:  [2]*Host{a, b},
+	}
+}
+
+// SetDelay changes the one-way propagation delay (the delay-router knob).
+func (l *Link) SetDelay(d sim.Duration) { l.delay = d }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Duration { return l.delay }
+
+// txTime is the serialization time of n payload+header bytes.
+func (l *Link) txTime(n int) sim.Duration {
+	bits := int64(n+EthOverlay) * 8
+	return sim.Duration(bits * 1e9 / l.bps)
+}
+
+// dirFrom returns the wire index for transmissions originating at h.
+func (l *Link) dirFrom(h *Host) int {
+	if h == l.ends[0] {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,64 @@
+package netsim
+
+import "iolite/internal/sim"
+
+// Listener accepts connections at a server host.
+type Listener struct {
+	host    *Host
+	backlog []*Conn
+	wait    sim.WaitQueue
+	closed  bool
+
+	accepted int64
+}
+
+// NewListener creates a listener on h.
+func NewListener(h *Host) *Listener {
+	return &Listener{host: h}
+}
+
+// Host returns the listening host.
+func (l *Listener) Host() *Host { return l.host }
+
+// Accept blocks until a connection arrives and returns it (nil after
+// Close).
+func (l *Listener) Accept(p *sim.Proc) *Conn {
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil
+		}
+		l.wait.Wait(p)
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	l.accepted++
+	return c
+}
+
+// Close stops the listener; blocked Accepts return nil.
+func (l *Listener) Close() {
+	l.closed = true
+	l.wait.Wake(-1)
+}
+
+// Accepted reports how many connections have been accepted.
+func (l *Listener) Accepted() int64 { return l.accepted }
+
+// Dial establishes a connection from client host over link to the listener:
+// one round trip of handshake latency, with connection-establishment CPU
+// charged to both ends (§5: TCP setup dominates small nonpersistent
+// transfers).
+func Dial(p *sim.Proc, client *Host, link *Link, lst *Listener, opts ConnOpts) *Conn {
+	client.Use(p, client.costs.TCPSetup)
+	// SYN travels to the server...
+	p.Sleep(link.delay)
+	conn := newConn(client, lst.host, link, opts)
+	srv := lst.host
+	srv.charge(srv.costs.TCPSetup, func() {
+		lst.backlog = append(lst.backlog, conn)
+		lst.wait.Wake(1)
+	})
+	// ...and the SYN-ACK returns before the client may send.
+	p.Sleep(link.delay)
+	return conn
+}

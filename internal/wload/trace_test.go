@@ -1,0 +1,156 @@
+package wload
+
+import (
+	"math/rand"
+	"testing"
+
+	"iolite/internal/fsim"
+	"iolite/internal/mem"
+	"iolite/internal/sim"
+)
+
+func TestGenerateMatchesSpecInvariants(t *testing.T) {
+	for _, spec := range []TraceSpec{ECE, CS, MERGED, Subtrace150} {
+		t.Run(spec.Name, func(t *testing.T) {
+			tr := Generate(spec)
+			if len(tr.Sizes) != spec.Files {
+				t.Fatalf("files = %d, want %d", len(tr.Sizes), spec.Files)
+			}
+			if got := tr.DataBytes(); got != spec.TotalBytes {
+				t.Fatalf("data set = %d bytes, want %d", got, spec.TotalBytes)
+			}
+			mean := tr.MeanRequestBytes()
+			if ratio := float64(mean) / float64(spec.MeanReqBytes); ratio < 0.85 || ratio > 1.15 {
+				t.Fatalf("mean request size %d, want ≈%d", mean, spec.MeanReqBytes)
+			}
+			for _, s := range tr.Sizes {
+				if s <= 0 {
+					t.Fatal("non-positive file size")
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ECE)
+	b := Generate(ECE)
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			t.Fatal("generation not reproducible")
+		}
+	}
+}
+
+func TestPopularityConcentration(t *testing.T) {
+	// Figure 9's quoted numbers for the 150 MB subtrace: the 1000 most
+	// requested files ≈ 74% of requests and ≈ 20% of the data size.
+	tr := Generate(Subtrace150)
+	reqFrac, sizeFrac := tr.FracAtRank(1000)
+	if reqFrac < 0.60 || reqFrac > 0.85 {
+		t.Errorf("top-1000 request fraction = %.2f, want ≈0.74", reqFrac)
+	}
+	// The generator prioritizes matching the mean request size; the size
+	// fraction of hot files lands a little under the log's 20%.
+	if sizeFrac < 0.05 || sizeFrac > 0.35 {
+		t.Errorf("top-1000 size fraction = %.2f, want ≈0.20", sizeFrac)
+	}
+
+	// Figure 7's ECE numbers: top 5000 files ≈ 95% of requests, ≈ 39% of
+	// the data.
+	ece := Generate(ECE)
+	reqFrac, sizeFrac = ece.FracAtRank(5000)
+	if reqFrac < 0.85 {
+		t.Errorf("ECE top-5000 request fraction = %.2f, want ≈0.95", reqFrac)
+	}
+	if sizeFrac < 0.25 || sizeFrac > 0.55 {
+		t.Errorf("ECE top-5000 size fraction = %.2f, want ≈0.39", sizeFrac)
+	}
+}
+
+func TestSampleFollowsWeights(t *testing.T) {
+	tr := Generate(Subtrace150)
+	rng := rand.New(rand.NewSource(42))
+	const draws = 200000
+	counts := make([]int, len(tr.Sizes))
+	for i := 0; i < draws; i++ {
+		counts[tr.Sample(rng)]++
+	}
+	// Empirical top-1000 share must track the analytic one.
+	top := 0
+	for i := 0; i < 1000; i++ {
+		top += counts[i]
+	}
+	want, _ := tr.FracAtRank(1000)
+	got := float64(top) / draws
+	if got < want-0.02 || got > want+0.02 {
+		t.Fatalf("empirical top-1000 share %.3f, analytic %.3f", got, want)
+	}
+	// Rank 0 must be the most sampled (sanity of ordering).
+	if counts[0] < counts[len(counts)-1] {
+		t.Fatal("popularity ordering inverted")
+	}
+}
+
+func TestPrefixSubsetsAndRenormalizes(t *testing.T) {
+	tr := Generate(Subtrace150)
+	sub := tr.Prefix(30 << 20)
+	if sub.DataBytes() < 29<<20 || sub.DataBytes() > 40<<20 {
+		t.Fatalf("prefix data set = %d MB", sub.DataBytes()>>20)
+	}
+	if sub.Spec.Files >= tr.Spec.Files {
+		t.Fatal("prefix did not shrink the file set")
+	}
+	// Weights must sum to ~1 after renormalization.
+	var sum float64
+	for _, w := range sub.weights {
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("prefix weights sum to %v", sum)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if r := sub.Sample(rng); r >= sub.Spec.Files {
+			t.Fatal("sample outside prefix")
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	tr := Generate(ECE)
+	pts := tr.CDF(50)
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevR, prevS := 0.0, 0.0
+	for _, pt := range pts {
+		if pt.ReqFrac < prevR || pt.SizeFrac < prevS {
+			t.Fatal("CDF not monotone")
+		}
+		prevR, prevS = pt.ReqFrac, pt.SizeFrac
+	}
+	last := pts[len(pts)-1]
+	if last.ReqFrac < 0.999 || last.SizeFrac < 0.999 {
+		t.Fatalf("CDF does not reach 1: %v", last)
+	}
+}
+
+func TestInstallCreatesFiles(t *testing.T) {
+	eng := sim.New()
+	costs := sim.DefaultCosts()
+	vm := mem.NewVM(eng, costs, 64<<20)
+	fs := fsim.NewFS(eng, costs, vm, fsim.NewDisk(eng, costs))
+	tr := Generate(Subtrace150).Prefix(5 << 20)
+	tr.Install(fs)
+	if fs.NumFiles() != tr.Spec.Files {
+		t.Fatalf("installed %d files, want %d", fs.NumFiles(), tr.Spec.Files)
+	}
+	eng.Go("t", func(p *sim.Proc) {
+		f := fs.Lookup(p, tr.Path(0))
+		if f == nil || f.Size() != tr.Sizes[0] {
+			t.Error("installed file missing or wrong size")
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,111 @@
+// Package iolite is the public face of this IO-Lite reproduction: a unified
+// I/O buffering and caching system (Pai, Druschel, Zwaenepoel; OSDI '99 /
+// TOCS 18(1)) built on a deterministic simulated operating system.
+//
+// The paper's primary contribution — immutable I/O buffers shared by
+// reference through mutable buffer aggregates, a unified file cache, an
+// IOL_read/IOL_write API, cross-subsystem optimizations like checksum
+// caching — lives in the core packages re-exported here. A System bundles a
+// complete simulated machine: virtual memory with protection domains, a
+// disk and file system, the unified cache, a TCP-like network stack with a
+// zero-copy send path, and copy-free IPC.
+//
+// Quick start:
+//
+//	sys := iolite.NewSystem(iolite.SystemConfig{})
+//	f := sys.FS.Create("/hello", 4096)
+//	proc := sys.NewProcess("app", 1<<20)
+//	sys.Run(func(p *iolite.Proc) {
+//	    agg := sys.IOLRead(p, proc, f, 0, f.Size()) // zero-copy cached read
+//	    defer agg.Release()
+//	    _ = agg.Materialize()
+//	})
+//
+// See examples/ for realistic scenarios (a web server, a CGI pipeline, the
+// converted UNIX tools) and internal/experiments for the reproduction of
+// every figure in the paper's evaluation.
+package iolite
+
+import (
+	"iolite/internal/cache"
+	"iolite/internal/core"
+	"iolite/internal/fsim"
+	"iolite/internal/ipcsim"
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+)
+
+// Re-exported core types: the buffer aggregate ADT of §3.1/§3.4.
+type (
+	// Agg is a mutable buffer aggregate over immutable IO-Lite buffers.
+	Agg = core.Agg
+	// Buffer is an immutable, refcounted, generation-numbered I/O buffer.
+	Buffer = core.Buffer
+	// Slice is a ⟨buffer, offset, length⟩ tuple.
+	Slice = core.Slice
+	// Pool is an access-controlled buffer allocation pool.
+	Pool = core.Pool
+	// Proc is a simulated process context.
+	Proc = sim.Proc
+	// Process is a protection domain with its default pool.
+	Process = kernel.Process
+	// File is a file in the simulated file system.
+	File = fsim.File
+	// Pipe is a UNIX pipe (copy-mode or IO-Lite reference-mode).
+	Pipe = ipcsim.Pipe
+)
+
+// Pipe modes.
+const (
+	PipeCopy = ipcsim.ModeCopy
+	PipeRef  = ipcsim.ModeRef
+)
+
+// SystemConfig sizes a simulated machine.
+type SystemConfig struct {
+	// MemBytes is physical memory; 0 selects the paper's 128 MB.
+	MemBytes int64
+	// CachePolicy selects the unified file cache replacement policy:
+	// "unified" (default, the paper's §3.7 rule), "LRU", or "GDS".
+	CachePolicy string
+	// ChecksumCache enables the cross-subsystem Internet checksum cache.
+	ChecksumCache bool
+}
+
+// System is a complete simulated machine running IO-Lite.
+type System struct {
+	*kernel.Machine
+}
+
+// NewSystem builds a machine.
+func NewSystem(cfg SystemConfig) *System {
+	eng := sim.New()
+	kcfg := kernel.Config{
+		MemBytes:      cfg.MemBytes,
+		ChecksumCache: cfg.ChecksumCache,
+	}
+	switch cfg.CachePolicy {
+	case "", "unified":
+		kcfg.Policy = cache.NewUnified()
+	case "LRU", "lru":
+		kcfg.Policy = cache.NewLRU()
+	case "GDS", "gds":
+		kcfg.Policy = cache.NewGDS()
+	default:
+		panic("iolite: unknown cache policy " + cfg.CachePolicy)
+	}
+	return &System{Machine: kernel.NewMachine(eng, sim.DefaultCosts(), kcfg)}
+}
+
+// Run executes body as a simulated process and drives the machine until all
+// simulated activity completes.
+func (s *System) Run(body func(p *Proc)) {
+	s.Eng.Go("main", body)
+	s.Eng.Run()
+}
+
+// Go starts an additional simulated process (for producer/consumer
+// scenarios); call Run (or s.Eng.Run) to drive everything.
+func (s *System) Go(name string, body func(p *Proc)) {
+	s.Eng.Go(name, body)
+}

@@ -1,0 +1,83 @@
+package iolite
+
+import (
+	"bytes"
+	"testing"
+
+	"iolite/internal/core"
+)
+
+func TestSystemQuickstartFlow(t *testing.T) {
+	sys := NewSystem(SystemConfig{ChecksumCache: true})
+	f := sys.FS.Create("/doc", 50<<10)
+	app := sys.NewProcess("app", 1<<20)
+	want := sys.FS.Expected(f, 0, f.Size())
+
+	sys.Run(func(p *Proc) {
+		a := sys.IOLRead(p, app, f, 0, f.Size())
+		if !bytes.Equal(a.Materialize(), want) {
+			t.Error("IOLRead returned wrong bytes")
+		}
+		b := sys.IOLRead(p, app, f, 0, f.Size())
+		if a.Slices()[0].Buf != b.Slices()[0].Buf {
+			t.Error("cache hit did not share buffers")
+		}
+		hdr := core.PackBytes(p, app.Pool, []byte("hi:"))
+		hdr.Concat(b)
+		if got := hdr.Materialize(); string(got[:3]) != "hi:" {
+			t.Error("aggregate composition broken")
+		}
+		a.Release()
+		b.Release()
+		hdr.Release()
+	})
+}
+
+func TestSystemPolicies(t *testing.T) {
+	for _, pol := range []string{"", "unified", "LRU", "lru", "GDS", "gds"} {
+		sys := NewSystem(SystemConfig{CachePolicy: pol})
+		if sys.FileCache == nil {
+			t.Fatalf("policy %q produced no cache", pol)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy did not panic")
+		}
+	}()
+	NewSystem(SystemConfig{CachePolicy: "bogus"})
+}
+
+func TestSystemPipeProducersConsumers(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	prod := sys.NewProcess("prod", 1<<20)
+	cons := sys.NewProcess("cons", 1<<20)
+	pipe := sys.NewPipe(PipeRef, cons)
+	msg := []byte("through the reference pipe")
+	var got []byte
+	sys.Go("prod", func(p *Proc) {
+		pipe.WriteAgg(p, core.PackBytes(p, prod.Pool, msg))
+		pipe.CloseWrite(p)
+	})
+	sys.Go("cons", func(p *Proc) {
+		for {
+			a := pipe.ReadAgg(p)
+			if a == nil {
+				return
+			}
+			got = append(got, a.Materialize()...)
+			a.Release()
+		}
+	})
+	sys.Eng.Run()
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSystemMemoryConfig(t *testing.T) {
+	sys := NewSystem(SystemConfig{MemBytes: 64 << 20})
+	if got := sys.VM.TotalPages(); got != (64<<20)/4096 {
+		t.Fatalf("TotalPages = %d", got)
+	}
+}
