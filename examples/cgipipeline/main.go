@@ -4,6 +4,10 @@
 // buffer pools with different ACLs, persistent cross-domain grants, and the
 // CPU cost gap that drives Figures 5 and 6.
 //
+// Both variants run the same descriptor calls: the pipe ends are ordinary
+// file descriptors, and IOL_read/IOL_write (or POSIX read/write) on them
+// look exactly like they do on files and sockets.
+//
 //	go run ./examples/cgipipeline
 package main
 
@@ -20,7 +24,7 @@ func run(mode ipcsim.Mode) {
 	sys := iolite.NewSystem(iolite.SystemConfig{})
 	cgi := sys.NewProcess("cgi", 1<<20)
 	srv := sys.NewProcess("server", 1<<20)
-	pipe := sys.NewPipe(mode, srv)
+	rfd, wfd := sys.Pipe2(srv, cgi, mode)
 
 	doc := bytes.Repeat([]byte("<li>dynamic item</li>\n"), 3000) // ~64 KB
 	const requests = 5
@@ -36,15 +40,15 @@ func run(mode ipcsim.Mode) {
 		var cached *core.Agg // the caching CGI program of §3.10
 		for i := 0; i < requests; i++ {
 			if mode == iolite.PipeCopy {
-				pipe.Write(p, doc)
+				sys.WritePOSIX(p, cgi, wfd, doc)
 				continue
 			}
 			if cached == nil {
 				cached = core.PackBytes(p, cgi.Pool, doc)
 			}
-			pipe.WriteAgg(p, cached.Clone())
+			sys.IOLWrite(p, cgi, wfd, cached.Clone())
 		}
-		pipe.CloseWrite(p)
+		sys.Close(p, cgi, wfd)
 	})
 
 	// The server: receives each document and "sends" it (here: verifies).
@@ -61,8 +65,8 @@ func run(mode ipcsim.Mode) {
 					if want > len(tmp) {
 						want = len(tmp)
 					}
-					n := pipe.Read(p, tmp[:want])
-					if n == 0 {
+					n, err := sys.ReadPOSIX(p, srv, rfd, tmp[:want])
+					if err != nil {
 						break
 					}
 					buf = append(buf, tmp[:n]...)
@@ -74,8 +78,8 @@ func run(mode ipcsim.Mode) {
 					bad++
 				}
 			} else {
-				a := pipe.ReadAgg(p)
-				if a == nil {
+				a, err := sys.IOLRead(p, srv, rfd, int64(len(doc)))
+				if err != nil {
 					break
 				}
 				// The transfer granted this domain read access; the bytes
@@ -87,6 +91,8 @@ func run(mode ipcsim.Mode) {
 			}
 			received++
 		}
+		d, _ := srv.Desc(rfd)
+		pipe, _ := iolite.PipeOf(d)
 		moved, copied, _ := pipe.Stats()
 		fmt.Printf("%-34s %d docs, %d KB moved, %d KB copied, CPU busy %v (corrupt: %d)\n",
 			label, received, moved>>10, copied>>10, sys.CPU().BusyTime(), bad)

@@ -1,9 +1,11 @@
 // Quickstart: the IO-Lite API in five minutes.
 //
-// Builds a simulated machine, reads a file through IOL_read (zero-copy,
-// cache-integrated), manipulates buffer aggregates (the mutable views over
-// immutable buffers), demonstrates snapshot semantics across an IOL_write,
-// and shows the recycled-buffer fast path.
+// Builds a simulated machine, opens a file descriptor, reads it through
+// IOL_read (zero-copy, cache-integrated), manipulates buffer aggregates
+// (the mutable views over immutable buffers), demonstrates snapshot
+// semantics across an IOL_write, and shows the recycled-buffer fast path.
+// The same IOL_read/IOL_write calls work unchanged on pipe and socket
+// descriptors — see examples/cgipipeline and examples/webserver.
 //
 //	go run ./examples/quickstart
 package main
@@ -11,6 +13,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"iolite"
 	"iolite/internal/core"
@@ -22,17 +25,24 @@ func main() {
 	app := sys.NewProcess("app", 1<<20)
 
 	sys.Run(func(p *iolite.Proc) {
+		fd, err := sys.Open(p, app, "/demo/report.txt")
+		if err != nil {
+			panic(err)
+		}
+
 		// First IOL_read: misses the unified cache, reads the disk into
 		// immutable IO-Lite buffers, and grants this process read access.
 		t0 := p.Now()
-		a1 := sys.IOLRead(p, app, file, 0, file.Size())
+		a1, _ := sys.IOLRead(p, app, fd, file.Size())
 		fmt.Printf("cold IOL_read: %6d bytes in %v (%d slices)\n",
 			a1.Len(), p.Now().Sub(t0), a1.NumSlices())
 
 		// Second read: served from the cache by reference — same physical
-		// buffers, no copy, no disk.
+		// buffers, no copy, no disk. The descriptor keeps a cursor, so
+		// rewind first.
+		sys.Seek(app, fd, 0, io.SeekStart)
 		t1 := p.Now()
-		a2 := sys.IOLRead(p, app, file, 0, file.Size())
+		a2, _ := sys.IOLRead(p, app, fd, file.Size())
 		fmt.Printf("warm IOL_read: %6d bytes in %v (shared buffer: %v)\n",
 			a2.Len(), p.Now().Sub(t1),
 			a1.Slices()[0].Buf == a2.Slices()[0].Buf)
@@ -48,13 +58,14 @@ func main() {
 		// Snapshot semantics: replace the file's content while holding a1.
 		snapshot := a1.Materialize()
 		newContent := bytes.Repeat([]byte{0xAB}, int(file.Size()))
+		sys.Seek(app, fd, 0, io.SeekStart)
 		w := core.PackBytes(p, app.Pool, newContent)
-		sys.IOLWrite(p, app, file, 0, w)
-		w.Release()
+		sys.IOLWrite(p, app, fd, w) // IOL_write takes ownership of w
 		fmt.Printf("snapshot intact after IOL_write: %v\n",
 			bytes.Equal(a1.Materialize(), snapshot))
 
-		a3 := sys.IOLRead(p, app, file, 0, file.Size())
+		sys.Seek(app, fd, 0, io.SeekStart)
+		a3, _ := sys.IOLRead(p, app, fd, file.Size())
 		fmt.Printf("new readers see new data:        %v\n",
 			bytes.Equal(a3.Materialize(), newContent))
 
@@ -64,6 +75,7 @@ func main() {
 		a2.Release()
 		a3.Release()
 		resp.Release()
+		sys.Close(p, app, fd)
 
 		allocs, recycles, cold := sys.FilePool.Stats()
 		fmt.Printf("file pool: %d allocs, %d recycled, %d cold\n", allocs, recycles, cold)

@@ -1,0 +1,3 @@
+module iolite
+
+go 1.24

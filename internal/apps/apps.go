@@ -49,6 +49,10 @@ const (
 
 const chunkSize = 64 << 10
 
+// maxIO: IOL_read cap when the consumer wants whatever is queued (one
+// aggregate at a time from a pipe).
+const maxIO = kernel.MaxIO
+
 // WCResult carries wc's output and timing.
 type WCResult struct {
 	Lines, Words, Bytes int64
@@ -79,6 +83,17 @@ func wcCost(m *kernel.Machine, p *sim.Proc, n int) {
 	m.Host.Use(p, sim.Duration(int64(n)*wcScanPS/1000))
 }
 
+// mustOpen opens a benchmark input or fails loudly: a missing file means
+// the experiment is misconfigured, and a silent zero-length run would
+// produce bogus figures.
+func mustOpen(m *kernel.Machine, p *sim.Proc, pr *kernel.Process, name string) int {
+	fd, err := m.Open(p, pr, name)
+	if err != nil {
+		panic(fmt.Sprintf("apps: open %s for %s: %v", name, pr.Name, err))
+	}
+	return fd
+}
+
 // WC runs wc over the named file (which should be warm in the file cache:
 // the paper's test reads a cached 1.75 MB file). It spawns its process,
 // runs the machine to completion, and returns counts and elapsed time.
@@ -86,20 +101,26 @@ func WC(m *kernel.Machine, v Variant, fileName string) WCResult {
 	pr := m.NewProcess("wc", 1<<20)
 	var res WCResult
 	m.Eng.Go("wc", func(p *sim.Proc) {
-		f := m.Open(p, fileName)
+		fd := mustOpen(m, p, pr, fileName)
 		start := p.Now()
 		inWord := false
 		switch v {
 		case Unmodified:
 			buf := make([]byte, chunkSize)
-			for off := int64(0); off < f.Size(); off += chunkSize {
-				n := m.ReadPOSIX(p, pr, f, off, buf)
+			for {
+				n, err := m.ReadPOSIX(p, pr, fd, buf)
+				if err != nil {
+					break
+				}
 				scanWC(buf[:n], &inWord, &res)
 				wcCost(m, p, n)
 			}
 		case IOLite:
-			for off := int64(0); off < f.Size(); off += chunkSize {
-				a := m.IOLRead(p, pr, f, off, chunkSize)
+			for {
+				a, err := m.IOLRead(p, pr, fd, chunkSize)
+				if err != nil {
+					break
+				}
 				for _, s := range a.Slices() {
 					scanWC(s.Bytes(), &inWord, &res)
 					wcCost(m, p, s.Len)
@@ -150,24 +171,30 @@ func CatGrep(m *kernel.Machine, v Variant, fileName string, pattern []byte) Grep
 	if v == IOLite {
 		mode = ipcsim.ModeRef
 	}
-	pipe := m.NewPipe(mode, grepPr)
+	rfd, wfd := m.Pipe2(grepPr, catPr, mode)
 	var res GrepResult
 	var t0 sim.Time
 
 	m.Eng.Go("cat", func(p *sim.Proc) {
-		f := m.Open(p, fileName)
+		fd := mustOpen(m, p, catPr, fileName)
 		t0 = p.Now()
-		for off := int64(0); off < f.Size(); off += chunkSize {
+		for {
 			if v == Unmodified {
 				buf := make([]byte, chunkSize)
-				n := m.ReadPOSIX(p, catPr, f, off, buf)
-				pipe.Write(p, buf[:n])
+				n, err := m.ReadPOSIX(p, catPr, fd, buf)
+				if err != nil {
+					break
+				}
+				m.WritePOSIX(p, catPr, wfd, buf[:n])
 			} else {
-				a := m.IOLRead(p, catPr, f, off, chunkSize)
-				pipe.WriteAgg(p, a)
+				a, err := m.IOLRead(p, catPr, fd, chunkSize)
+				if err != nil {
+					break
+				}
+				m.IOLWrite(p, catPr, wfd, a)
 			}
 		}
-		pipe.CloseWrite(p)
+		m.Close(p, catPr, wfd)
 	})
 
 	m.Eng.Go("grep", func(p *sim.Proc) {
@@ -206,8 +233,8 @@ func CatGrep(m *kernel.Machine, v Variant, fileName string, pattern []byte) Grep
 		if v == Unmodified {
 			buf := make([]byte, 32<<10)
 			for {
-				n := pipe.Read(p, buf)
-				if n == 0 {
+				n, err := m.ReadPOSIX(p, grepPr, rfd, buf)
+				if err != nil {
 					break
 				}
 				charge(n)
@@ -215,8 +242,8 @@ func CatGrep(m *kernel.Machine, v Variant, fileName string, pattern []byte) Grep
 			}
 		} else {
 			for {
-				a := pipe.ReadAgg(p)
-				if a == nil {
+				a, err := m.IOLRead(p, grepPr, rfd, maxIO)
+				if err != nil {
 					break
 				}
 				for _, s := range a.Slices() {
@@ -252,7 +279,7 @@ func Permute(m *kernel.Machine, v Variant, totalBytes int64) PermuteResult {
 	if v == IOLite {
 		mode = ipcsim.ModeRef
 	}
-	pipe := m.NewPipe(mode, wcPr)
+	rfd, wfd := m.Pipe2(wcPr, genPr, mode)
 	var res PermuteResult
 	t0 := m.Eng.Now()
 
@@ -269,9 +296,9 @@ func Permute(m *kernel.Machine, v Variant, totalBytes int64) PermuteResult {
 			}
 			m.Host.Use(p, sim.Duration(int64(len(chunk))*permGenPS/1000))
 			if v == Unmodified {
-				pipe.Write(p, chunk)
+				m.WritePOSIX(p, genPr, wfd, chunk)
 			} else {
-				pipe.WriteAgg(p, core.PackBytes(p, genPr.Pool, chunk))
+				m.IOLWrite(p, genPr, wfd, core.PackBytes(p, genPr.Pool, chunk))
 			}
 			chunk = chunk[:0]
 		}
@@ -294,7 +321,7 @@ func Permute(m *kernel.Machine, v Variant, totalBytes int64) PermuteResult {
 			emit(false)
 		}
 		emit(true)
-		pipe.CloseWrite(p)
+		m.Close(p, genPr, wfd)
 	})
 
 	m.Eng.Go("wc", func(p *sim.Proc) {
@@ -302,8 +329,8 @@ func Permute(m *kernel.Machine, v Variant, totalBytes int64) PermuteResult {
 		if v == Unmodified {
 			buf := make([]byte, 32<<10)
 			for {
-				n := pipe.Read(p, buf)
-				if n == 0 {
+				n, err := m.ReadPOSIX(p, wcPr, rfd, buf)
+				if err != nil {
 					break
 				}
 				scanWC(buf[:n], &inWord, &res.WC)
@@ -311,8 +338,8 @@ func Permute(m *kernel.Machine, v Variant, totalBytes int64) PermuteResult {
 			}
 		} else {
 			for {
-				a := pipe.ReadAgg(p)
-				if a == nil {
+				a, err := m.IOLRead(p, wcPr, rfd, maxIO)
+				if err != nil {
 					break
 				}
 				for _, s := range a.Slices() {
@@ -347,46 +374,47 @@ func GCC(m *kernel.Machine, v Variant, fileNames []string) GCCResult {
 	if v == IOLite {
 		mode = ipcsim.ModeRef
 	}
-	toCC1 := m.NewPipe(mode, cc1Pr)
-	toAS := m.NewPipe(mode, asPr)
+	cc1In, cppOut := m.Pipe2(cc1Pr, cppPr, mode)
+	asIn, cc1Out := m.Pipe2(asPr, cc1Pr, mode)
 	var res GCCResult
 	t0 := m.Eng.Now()
 
-	// stageCopy moves one processed chunk downstream.
-	stage := func(p *sim.Proc, pr *kernel.Process, in *ipcsim.Pipe, out *ipcsim.Pipe, psPerByte int64) {
+	// stage moves one processed chunk downstream; out < 0 is the last
+	// stage, which only counts its output.
+	stage := func(p *sim.Proc, pr *kernel.Process, in, out int, psPerByte int64) {
 		relay := func(data []byte) {
 			m.Host.Use(p, sim.Duration(int64(len(data))*psPerByte/1000))
-			if out == nil {
+			if out < 0 {
 				res.BytesOut += int64(len(data))
 				return
 			}
 			if v == Unmodified {
-				out.Write(p, data)
+				m.WritePOSIX(p, pr, out, data)
 			} else {
-				out.WriteAgg(p, core.PackBytes(p, pr.Pool, data))
+				m.IOLWrite(p, pr, out, core.PackBytes(p, pr.Pool, data))
 			}
 		}
 		if v == Unmodified {
 			buf := make([]byte, 32<<10)
 			for {
-				n := in.Read(p, buf)
-				if n == 0 {
+				n, err := m.ReadPOSIX(p, pr, in, buf)
+				if err != nil {
 					break
 				}
 				relay(buf[:n])
 			}
 		} else {
 			for {
-				a := in.ReadAgg(p)
-				if a == nil {
+				a, err := m.IOLRead(p, pr, in, maxIO)
+				if err != nil {
 					break
 				}
 				relay(a.Materialize())
 				a.Release()
 			}
 		}
-		if out != nil {
-			out.CloseWrite(p)
+		if out >= 0 {
+			m.Close(p, pr, out)
 		}
 	}
 
@@ -394,29 +422,36 @@ func GCC(m *kernel.Machine, v Variant, fileNames []string) GCCResult {
 	// split across the three stages.
 	m.Eng.Go("cpp", func(p *sim.Proc) {
 		for _, name := range fileNames {
-			f := m.Open(p, name)
+			fd := mustOpen(m, p, cppPr, name)
 			if v == Unmodified {
 				buf := make([]byte, chunkSize)
-				for off := int64(0); off < f.Size(); off += chunkSize {
-					n := m.ReadPOSIX(p, cppPr, f, off, buf)
+				for {
+					n, err := m.ReadPOSIX(p, cppPr, fd, buf)
+					if err != nil {
+						break
+					}
 					m.Host.Use(p, sim.Duration(int64(n)*gccPS/5/1000))
-					toCC1.Write(p, buf[:n])
+					m.WritePOSIX(p, cppPr, cppOut, buf[:n])
 				}
 			} else {
-				for off := int64(0); off < f.Size(); off += chunkSize {
-					a := m.IOLRead(p, cppPr, f, off, chunkSize)
+				for {
+					a, err := m.IOLRead(p, cppPr, fd, chunkSize)
+					if err != nil {
+						break
+					}
 					m.Host.Use(p, sim.Duration(int64(a.Len())*gccPS/5/1000))
-					toCC1.WriteAgg(p, a)
+					m.IOLWrite(p, cppPr, cppOut, a)
 				}
 			}
+			m.Close(p, cppPr, fd)
 		}
-		toCC1.CloseWrite(p)
+		m.Close(p, cppPr, cppOut)
 	})
 	m.Eng.Go("cc1", func(p *sim.Proc) {
-		stage(p, cc1Pr, toCC1, toAS, gccPS*3/5) // the compiler proper dominates
+		stage(p, cc1Pr, cc1In, cc1Out, gccPS*3/5) // the compiler proper dominates
 	})
 	m.Eng.Go("as", func(p *sim.Proc) {
-		stage(p, asPr, toAS, nil, gccPS/5)
+		stage(p, asPr, asIn, -1, gccPS/5)
 		res.Elapsed = p.Now().Sub(t0)
 	})
 	m.Eng.Run()
@@ -435,11 +470,15 @@ func NewAppMachine(files map[string]int64) *kernel.Machine {
 	}
 	eng.Go("warm", func(p *sim.Proc) {
 		for name := range files {
-			f := m.Open(p, name)
-			for off := int64(0); off < f.Size(); off += chunkSize {
-				a := m.IOLRead(p, warm, f, off, chunkSize)
+			fd := mustOpen(m, p, warm, name)
+			for {
+				a, err := m.IOLRead(p, warm, fd, chunkSize)
+				if err != nil {
+					break
+				}
 				a.Release()
 			}
+			m.Close(p, warm, fd)
 		}
 	})
 	eng.Run()

@@ -9,7 +9,6 @@ import (
 	"iolite/internal/core"
 	"iolite/internal/ipcsim"
 	"iolite/internal/kernel"
-	"iolite/internal/netsim"
 	"iolite/internal/sim"
 )
 
@@ -27,12 +26,16 @@ type cgiPool struct {
 }
 
 // cgiWorker is one persistent CGI process connected to the server by a
-// request pipe and a response pipe.
+// request pipe and a response pipe, each end held as a file descriptor in
+// its owning process's table.
 type cgiWorker struct {
 	s    *Server
 	proc *kernel.Process
-	req  *ipcsim.Pipe // server → worker: request line
-	resp *ipcsim.Pipe // worker → server: document
+
+	reqR  int // worker side: read end of the request pipe
+	respW int // worker side: write end of the response pipe
+	reqW  int // server side: write end of the request pipe
+	respR int // server side: read end of the response pipe
 
 	// docs caches generated documents by size: the baseline keeps plain
 	// bytes in its address space; the IO-Lite worker keeps aggregates in
@@ -54,8 +57,10 @@ func newCGIPool(s *Server, n int) *cgiPool {
 			docsRaw: make(map[int64][]byte),
 			docsAgg: make(map[int64]*core.Agg),
 		}
-		w.req = s.m.NewPipe(ipcsim.ModeCopy, w.proc) // requests are tiny: always copied
-		w.resp = s.m.NewPipe(respMode, s.proc)
+		// Requests are tiny: always a copy pipe. The response pipe passes
+		// references on the IO-Lite server.
+		w.reqR, w.reqW = s.m.Pipe2(w.proc, s.proc, ipcsim.ModeCopy)
+		w.respR, w.respW = s.m.Pipe2(s.proc, w.proc, respMode)
 		pool.workers = append(pool.workers, w)
 		pool.idle = append(pool.idle, w)
 		s.m.Eng.Go(w.proc.Name, w.run)
@@ -108,8 +113,8 @@ func (w *cgiWorker) run(p *sim.Proc) {
 	for {
 		// Read one newline-terminated request.
 		for !strings.Contains(string(line), "\n") {
-			n := w.req.Read(p, buf)
-			if n == 0 {
+			n, err := m.ReadPOSIX(p, w.proc, w.reqR, buf)
+			if err != nil {
 				return // server shut the pipe
 			}
 			line = append(line, buf[:n]...)
@@ -129,13 +134,14 @@ func (w *cgiWorker) run(p *sim.Proc) {
 			// worker's own buffer pool (its ACL isolates it until the pipe
 			// transfer grants the server access, §3.10); repeat requests
 			// reuse the same immutable buffers, so even TCP checksums stay
-			// cached downstream.
+			// cached downstream. IOL_write on the pipe descriptor is the
+			// same call the server uses on files and sockets.
 			agg, hit := w.docsAgg[size]
 			if !hit {
 				agg = core.PackBytes(p, w.proc.Pool, cgiDoc(size))
 				w.docsAgg[size] = agg
 			}
-			w.resp.WriteAgg(p, agg.Clone())
+			m.IOLWrite(p, w.proc, w.respW, agg.Clone())
 		} else {
 			// Conventional FastCGI: the document crosses the pipe by copy
 			// (once in, once out) and will be copied again into socket
@@ -146,23 +152,24 @@ func (w *cgiWorker) run(p *sim.Proc) {
 				w.docsRaw[size] = doc
 			}
 			m.Host.Use(p, m.Costs.Syscall)
-			w.resp.Write(p, []byte(fmt.Sprintf("%d\n", size)))
-			w.resp.Write(p, doc)
+			m.WritePOSIX(p, w.proc, w.respW, []byte(fmt.Sprintf("%d\n", size)))
+			m.WritePOSIX(p, w.proc, w.respW, doc)
 		}
 	}
 }
 
 // serveCGI forwards the request to a worker and relays its document to the
-// client.
-func (s *Server) serveCGI(p *sim.Proc, ep *netsim.Endpoint, path string) {
+// client on connection descriptor cfd.
+func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) {
 	w := s.cgi.acquire(p)
 	defer s.cgi.release(w)
 
-	w.req.Write(p, []byte(path+"\n"))
+	s.m.WritePOSIX(p, s.proc, w.reqW, []byte(path+"\n"))
 
 	if s.cfg.Kind == FlashLite {
-		body := w.resp.ReadAgg(p)
-		if body == nil {
+		// kernel.MaxIO: take the worker's whole queued aggregate.
+		body, err := s.m.IOLRead(p, s.proc, w.respR, kernel.MaxIO)
+		if err != nil {
 			return
 		}
 		hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(body.Len()))
@@ -170,7 +177,7 @@ func (s *Server) serveCGI(p *sim.Proc, ep *netsim.Endpoint, path string) {
 		resp.Concat(body)
 		n := int64(body.Len())
 		body.Release()
-		s.m.SendIOL(p, s.proc, ep, resp, nil)
+		s.m.IOLWrite(p, s.proc, cfd, resp)
 		s.bytesBody += n
 		s.bytesTotal += n + int64(len(hdr))
 		return
@@ -180,8 +187,8 @@ func (s *Server) serveCGI(p *sim.Proc, ep *netsim.Endpoint, path string) {
 	var head []byte
 	tmp := make([]byte, 16384)
 	for !strings.Contains(string(head), "\n") {
-		n := w.resp.Read(p, tmp)
-		if n == 0 {
+		n, err := s.m.ReadPOSIX(p, s.proc, w.respR, tmp)
+		if err != nil {
 			return
 		}
 		head = append(head, tmp[:n]...)
@@ -190,15 +197,15 @@ func (s *Server) serveCGI(p *sim.Proc, ep *netsim.Endpoint, path string) {
 	size, _ := strconv.ParseInt(string(head[:idx]), 10, 64)
 	body := append([]byte(nil), head[idx+1:]...)
 	for int64(len(body)) < size {
-		n := w.resp.Read(p, tmp)
-		if n == 0 {
+		n, err := s.m.ReadPOSIX(p, s.proc, w.respR, tmp)
+		if err != nil {
 			break
 		}
 		body = append(body, tmp[:n]...)
 	}
 	hdr := FormatResponseHeader(s.cfg.Kind.String(), size)
-	s.m.SendCopy(p, ep, hdr, nil)
-	s.m.SendCopy(p, ep, body, nil)
+	s.m.WritePOSIX(p, s.proc, cfd, hdr)
+	s.m.WritePOSIX(p, s.proc, cfd, body)
 	s.bytesBody += size
 	s.bytesTotal += size + int64(len(hdr))
 }

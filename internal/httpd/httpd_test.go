@@ -283,7 +283,7 @@ func TestManyClientsManyFiles(t *testing.T) {
 			cfg := b.clientCfg(true, func(path string, body []byte) {
 				var idx int
 				fmt.Sscanf(path, "/f%d", &idx)
-				f := b.m.FS.ByID(b.srv.openFiles[path].ID)
+				f := b.m.FS.ByID(b.srv.openFDs[path].f.ID)
 				if !bytes.Equal(body, b.m.FS.Expected(f, 0, f.Size())) {
 					bad++
 				}

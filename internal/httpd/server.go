@@ -65,15 +65,23 @@ type Config struct {
 	CGIWorkers int
 }
 
+// openEntry is one slot of the server's open-FD cache: the descriptor the
+// server holds open for a path plus the inode for metadata and mmap.
+type openEntry struct {
+	f  *fsim.File
+	fd int
+}
+
 // Server is a running web server.
 type Server struct {
 	cfg  Config
 	m    *kernel.Machine
 	proc *kernel.Process
+	lfd  int // listening descriptor
 
-	// openFiles caches name→file like Flash's open-FD cache; the first
-	// lookup pays the FS open costs.
-	openFiles map[string]*fsim.File
+	// openFDs caches name→descriptor like Flash's open-FD cache; the
+	// first lookup pays the FS open costs, later requests reuse the fd.
+	openFDs map[string]openEntry
 
 	// Apache's connection slots.
 	slots    int
@@ -89,12 +97,13 @@ type Server struct {
 // NewServer creates and starts a server on cfg.Listener.
 func NewServer(cfg Config) *Server {
 	s := &Server{
-		cfg:       cfg,
-		m:         cfg.Machine,
-		openFiles: make(map[string]*fsim.File),
-		slots:     apacheMaxClients,
+		cfg:     cfg,
+		m:       cfg.Machine,
+		openFDs: make(map[string]openEntry),
+		slots:   apacheMaxClients,
 	}
 	s.proc = s.m.NewProcess("httpd", 2<<20)
+	s.lfd = s.m.Listen(s.proc, cfg.Listener)
 	if cfg.CGI {
 		n := cfg.CGIWorkers
 		if n <= 0 {
@@ -109,10 +118,11 @@ func NewServer(cfg Config) *Server {
 // Process returns the server's kernel process (its protection domain).
 func (s *Server) Process() *kernel.Process { return s.proc }
 
-// PrimeOpen seeds the server's open-file cache, as a long-running server
+// PrimeOpen seeds the server's open-FD cache, as a long-running server
 // would have done during warmup (experiments start from steady state).
 func (s *Server) PrimeOpen(path string, f *fsim.File) {
-	s.openFiles[path] = f
+	fd := s.proc.Install(kernel.NewFileDesc(s.m, f, nil))
+	s.openFDs[path] = openEntry{f: f, fd: fd}
 }
 
 // Stats reports requests served and body/total bytes sent.
@@ -127,8 +137,8 @@ func (s *Server) ResetStats() {
 
 func (s *Server) acceptLoop(p *sim.Proc) {
 	for {
-		conn := s.cfg.Listener.Accept(p)
-		if conn == nil {
+		cfd, err := s.m.Accept(p, s.proc, s.lfd)
+		if err != nil {
 			return
 		}
 		if s.cfg.Kind == Apache {
@@ -138,9 +148,8 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 			s.slots--
 			s.m.VM.Reserve(mem.TagProc, mem.PagesFor(apacheConnMem))
 		}
-		c := conn
 		s.m.Eng.Go("httpd.conn", func(hp *sim.Proc) {
-			s.handleConn(hp, c.ServerEnd())
+			s.handleConn(hp, cfd)
 			if s.cfg.Kind == Apache {
 				s.m.VM.Release(mem.TagProc, mem.PagesFor(apacheConnMem))
 				s.slots++
@@ -150,9 +159,14 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 	}
 }
 
-// handleConn serves requests on one connection until close.
-func (s *Server) handleConn(p *sim.Proc, ep *netsim.Endpoint) {
+// recvChunk caps one IOL_read from a connection while accumulating a
+// request; deliveries are segment-sized, far below this.
+const recvChunk = 64 << 10
+
+// handleConn serves requests on connection descriptor cfd until close.
+func (s *Server) handleConn(p *sim.Proc, cfd int) {
 	var pending []byte
+	var buf []byte // conventional receive buffer, reused across requests
 	for {
 		// Accumulate a complete request.
 		var path string
@@ -163,31 +177,40 @@ func (s *Server) handleConn(p *sim.Proc, ep *netsim.Endpoint) {
 				pending = nil
 				break
 			}
-			var data []byte
-			var alive bool
 			if s.cfg.Kind == FlashLite {
-				data, alive = s.m.RecvIOL(p, s.proc, ep)
+				// IOL_read on the socket: request bytes arrive in IO-Lite
+				// buffers placed by early demultiplexing, no copy.
+				a, err := s.m.IOLRead(p, s.proc, cfd, recvChunk)
+				if err != nil {
+					s.m.Close(p, s.proc, cfd)
+					return
+				}
+				pending = append(pending, a.Materialize()...)
+				a.Release()
 			} else {
-				data, alive = s.m.RecvCopy(p, ep)
+				if buf == nil {
+					buf = make([]byte, recvChunk)
+				}
+				n, err := s.m.ReadPOSIX(p, s.proc, cfd, buf)
+				if err != nil {
+					s.m.Close(p, s.proc, cfd)
+					return
+				}
+				pending = append(pending, buf[:n]...)
 			}
-			if !alive {
-				ep.Close(p)
-				return
-			}
-			pending = append(pending, data...)
 		}
 
 		s.m.Host.Use(p, s.requestWork())
 
 		if s.cfg.CGI {
-			s.serveCGI(p, ep, path)
+			s.serveCGI(p, cfd, path)
 		} else {
-			s.serveStatic(p, ep, path)
+			s.serveStatic(p, cfd, path)
 		}
 		s.requests++
 
 		if !keepalive {
-			ep.Close(p)
+			s.m.Close(p, s.proc, cfd)
 			return
 		}
 	}
@@ -200,49 +223,60 @@ func (s *Server) requestWork() time.Duration {
 	return flashRequestWork
 }
 
-// openCached resolves a path through the server's open-file cache.
-func (s *Server) openCached(p *sim.Proc, path string) *fsim.File {
-	if f, ok := s.openFiles[path]; ok {
+// openCached resolves a path through the server's open-FD cache.
+func (s *Server) openCached(p *sim.Proc, path string) (openEntry, bool) {
+	if e, ok := s.openFDs[path]; ok {
 		s.m.Host.Use(p, s.m.Costs.CacheLookup)
-		return f
+		return e, true
 	}
-	f := s.m.Open(p, path)
-	if f != nil {
-		s.openFiles[path] = f
+	fd, err := s.m.Open(p, s.proc, path)
+	if err != nil {
+		return openEntry{}, false
 	}
-	return f
+	d, _ := s.proc.Desc(fd)
+	f, _ := kernel.FileOf(d)
+	e := openEntry{f: f, fd: fd}
+	s.openFDs[path] = e
+	return e, true
 }
 
-// serveStatic sends a file.
-func (s *Server) serveStatic(p *sim.Proc, ep *netsim.Endpoint, path string) {
-	f := s.openCached(p, path)
-	if f == nil {
-		s.m.SendCopy(p, ep, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"), nil)
+// serveStatic sends a file down connection descriptor cfd.
+func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) {
+	e, ok := s.openCached(p, path)
+	if !ok {
+		s.m.WritePOSIX(p, s.proc, cfd, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
 		return
 	}
+	f := e.f
 	hdr := FormatResponseHeader(s.cfg.Kind.String(), f.Size())
 	switch s.cfg.Kind {
 	case FlashLite:
 		// §3.10: IOL_read the document, concatenate a freshly generated
-		// response header, IOL_write the aggregate. If the document is
-		// cached, the only data-touching work left is the header.
-		body := s.m.IOLRead(p, s.proc, f, 0, f.Size())
+		// response header, IOL_write the aggregate to the socket — the
+		// same two calls a pipe or file target would take. If the document
+		// is cached, the only data-touching work left is the header. The
+		// positional read means the one cached descriptor safely serves
+		// every concurrent connection (no shared cursor).
+		body, err := s.m.IOLReadAt(p, s.proc, e.fd, 0, f.Size())
+		if err != nil {
+			body = core.NewAgg()
+		}
 		resp := core.PackBytes(p, s.proc.Pool, hdr)
 		resp.Concat(body)
 		body.Release()
-		s.m.SendIOL(p, s.proc, ep, resp, nil)
+		s.m.IOLWrite(p, s.proc, cfd, resp)
 	case Flash:
 		// mmap avoids the read-side copy; the send still copies into
 		// socket buffers and checksums every byte.
 		mp := s.m.Mmap(p, s.proc, f)
-		s.m.SendCopy(p, ep, hdr, nil)
-		s.m.SendCopy(p, ep, mp.Bytes(0, f.Size()), nil)
+		s.m.WritePOSIX(p, s.proc, cfd, hdr)
+		s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(0, f.Size()))
 	case Apache:
 		// Apache 1.3 walks the mmap'd file in 8 KB hunks, one write(2) per
 		// hunk, after its buffered-output (BUFF) layer has staged the data
 		// in a user buffer — one more copy than Flash's direct writev.
 		mp := s.m.Mmap(p, s.proc, f)
-		s.m.SendCopy(p, ep, hdr, nil)
+		s.m.WritePOSIX(p, s.proc, cfd, hdr)
 		const hunk = 8 << 10
 		for off := int64(0); off < f.Size(); off += hunk {
 			n := f.Size() - off
@@ -250,7 +284,7 @@ func (s *Server) serveStatic(p *sim.Proc, ep *netsim.Endpoint, path string) {
 				n = hunk
 			}
 			s.m.Host.Use(p, s.m.Costs.Copy(int(n))) // BUFF staging copy
-			s.m.SendCopy(p, ep, mp.Bytes(off, n), nil)
+			s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(off, n))
 		}
 	}
 	s.bytesBody += f.Size()

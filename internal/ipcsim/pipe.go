@@ -44,6 +44,7 @@ type Pipe struct {
 	readers sim.WaitQueue
 	writers sim.WaitQueue
 	wClosed bool
+	rClosed bool
 
 	kernPages int // TagSockBuf-style accounting of the kernel pipe buffer
 
@@ -119,7 +120,15 @@ func (pp *Pipe) Write(p *sim.Proc, data []byte) {
 	pp.use(p, pp.costs.Syscall)
 	for off := 0; off < len(data); {
 		for pp.bytes >= pp.cap {
+			if pp.rClosed {
+				return
+			}
 			pp.block(p, &pp.writers)
+		}
+		if pp.rClosed {
+			// No reader will ever drain this: discard the rest (the
+			// caller's EPIPE is the descriptor layer's ErrClosed).
+			return
 		}
 		take := len(data) - off
 		if room := pp.cap - pp.bytes; take > room {
@@ -173,7 +182,14 @@ func (pp *Pipe) WriteAgg(p *sim.Proc, agg *core.Agg) {
 	n := agg.Len()
 	pp.use(p, pp.costs.Syscall+sim.Duration(agg.NumSlices())*pp.costs.AggOp)
 	for pp.bytes > 0 && pp.bytes+n > pp.cap {
+		if pp.rClosed {
+			break
+		}
 		pp.block(p, &pp.writers)
+	}
+	if pp.rClosed {
+		agg.Release()
+		return
 	}
 	core.Transfer(p, agg, pp.readerDomain)
 	pp.aggs = append(pp.aggs, agg)
@@ -201,6 +217,27 @@ func (pp *Pipe) ReadAgg(p *sim.Proc) *core.Agg {
 	pp.use(p, sim.Duration(a.NumSlices())*pp.costs.AggOp)
 	pp.writers.Wake(-1)
 	return a
+}
+
+// WriteClosed reports whether the write end has been closed.
+func (pp *Pipe) WriteClosed() bool { return pp.wClosed }
+
+// ReadClosed reports whether the read end has been closed.
+func (pp *Pipe) ReadClosed() bool { return pp.rClosed }
+
+// CloseRead marks the reader gone: buffered data is discarded and blocked
+// writers wake (their remaining writes are dropped — the simulated EPIPE).
+func (pp *Pipe) CloseRead(p *sim.Proc) {
+	pp.use(p, pp.costs.Syscall)
+	pp.rClosed = true
+	pp.buf = nil
+	for _, a := range pp.aggs {
+		a.Release()
+	}
+	pp.aggs = nil
+	pp.bytes = 0
+	pp.accountKernBuf()
+	pp.writers.Wake(-1)
 }
 
 // CloseWrite marks end of stream; blocked readers see EOF once drained.

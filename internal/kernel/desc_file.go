@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"io"
+
+	"iolite/internal/core"
+	"iolite/internal/fsim"
+	"iolite/internal/sim"
+)
+
+// fileDesc is the regular-file descriptor: a cursor over an inode. The
+// aggregate paths go through the unified file cache (or, with a private
+// pool, through the §3.4 pool-directed path); the copy paths are the
+// backward-compatible POSIX calls.
+type fileDesc struct {
+	m *Machine
+	f *fsim.File
+	// pool, when non-nil, directs IOL_read into caller-owned buffers
+	// (OpenWithPool) instead of the shared cache.
+	pool *core.Pool
+	off  int64
+}
+
+// FileOf returns the inode behind a file descriptor, for callers that
+// need metadata (size) or the mmap interface.
+func FileOf(d Desc) (*fsim.File, bool) {
+	fd, ok := d.(*fileDesc)
+	if !ok {
+		return nil, false
+	}
+	return fd.f, true
+}
+
+func (d *fileDesc) Kind() DescKind { return KindFile }
+func (d *fileDesc) RefMode() bool  { return true }
+func (d *fileDesc) Seekable() bool { return true }
+
+func (d *fileDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
+	a, err := d.ReadAggAt(p, pr, d.off, n)
+	if err != nil {
+		return nil, err
+	}
+	d.off += int64(a.Len())
+	return a, nil
+}
+
+// ReadAggAt is the positional IOL_read (no cursor touched) — the PReader
+// capability.
+func (d *fileDesc) ReadAggAt(p *sim.Proc, pr *Process, off, n int64) (*core.Agg, error) {
+	if off >= d.f.Size() {
+		d.m.syscall(p)
+		return nil, io.EOF
+	}
+	if d.pool != nil {
+		return d.m.IOLReadPool(p, pr, d.pool, d.f, off, n), nil
+	}
+	return d.m.IOLReadFile(p, pr, d.f, off, n), nil
+}
+
+func (d *fileDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
+	n := int64(a.Len())
+	d.m.IOLWriteFile(p, pr, d.f, d.off, a)
+	// The generic IOL_write transfers ownership; the cache holds its own
+	// references, so the caller's goes away here.
+	a.Release()
+	d.off += n
+	return nil
+}
+
+func (d *fileDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
+	if d.off >= d.f.Size() {
+		d.m.syscall(p)
+		return 0, io.EOF
+	}
+	n := d.m.ReadPOSIXFile(p, pr, d.f, d.off, dst)
+	d.off += int64(n)
+	return n, nil
+}
+
+func (d *fileDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
+	d.m.WritePOSIXFile(p, pr, d.f, d.off, src)
+	d.off += int64(len(src))
+	return len(src), nil
+}
+
+func (d *fileDesc) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+	case io.SeekCurrent:
+		off += d.off
+	case io.SeekEnd:
+		off += d.f.Size()
+	default:
+		return d.off, ErrNotSupported
+	}
+	if off < 0 {
+		return d.off, ErrNotSupported
+	}
+	d.off = off
+	return d.off, nil
+}
+
+func (d *fileDesc) Close(p *sim.Proc) error {
+	d.m.syscall(p)
+	return nil
+}

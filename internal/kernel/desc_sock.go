@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"io"
+
+	"iolite/internal/core"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// sockDesc is a connected TCP socket endpoint. IOL_write passes the
+// aggregate to the transport by reference (§4.1); IOL_read returns the
+// delivered data as a real aggregate with no copy on the reference path —
+// early demultiplexing (§3.6) placed the packet payload in IO-Lite buffers
+// the process can be granted access to.
+type sockDesc struct {
+	m  *Machine
+	ep *netsim.Endpoint
+
+	// pending holds the tail of a delivery that exceeded the reader's
+	// requested length.
+	pending *core.Agg
+}
+
+func (d *sockDesc) Kind() DescKind { return KindSocket }
+func (d *sockDesc) RefMode() bool  { return d.ep.RefMode() }
+func (d *sockDesc) Seekable() bool { return false }
+
+// Endpoint exposes the underlying transport endpoint. EndpointOf unwraps.
+func (d *sockDesc) Endpoint() *netsim.Endpoint { return d.ep }
+
+// EndpointOf returns the transport endpoint behind a socket descriptor,
+// for callers that need transport-level control (Drain, socket-buffer
+// stats).
+func EndpointOf(d Desc) (*netsim.Endpoint, bool) {
+	sd, ok := d.(*sockDesc)
+	if !ok {
+		return nil, false
+	}
+	return sd.ep, true
+}
+
+// takeAgg produces the next received aggregate: the pending tail, or one
+// delivery from the endpoint. Reference-mode deliveries keep their buffer
+// identity — the returned aggregate references the sender's immutable
+// buffers, with read access granted to pr's domain (no data copy, no
+// charge beyond VM grants that are free in steady state). Copy-mode
+// deliveries (conventional peers) arrive as received bytes and are wrapped
+// uncharged: early demux already placed them where the process can read.
+func (d *sockDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
+	if d.pending != nil {
+		a := d.pending
+		d.pending = nil
+		return a
+	}
+	dv, ok := d.ep.Recv(p)
+	if !ok {
+		return nil
+	}
+	if a := dv.Agg; a != nil {
+		core.Transfer(p, a, pr.Domain)
+		return a
+	}
+	return core.PackBytes(nil, pr.Pool, dv.Data)
+}
+
+func (d *sockDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
+	d.m.syscall(p)
+	a := d.takeAgg(p, pr)
+	if a == nil {
+		return nil, io.EOF
+	}
+	return splitPending(a, n, &d.pending), nil
+}
+
+func (d *sockDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
+	if d.ep.Closing() {
+		return ErrClosed
+	}
+	d.m.syscall(p)
+	core.CheckReadable(a, pr.Domain)
+	d.m.Host.Use(p, sim.Duration(a.NumSlices())*d.m.Costs.AggOp)
+	core.Transfer(p, a, d.m.KernelDomain)
+	d.ep.Send(p, netsim.Payload{Agg: a}, nil)
+	return nil
+}
+
+func (d *sockDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
+	d.m.syscall(p)
+	a := d.takeAgg(p, pr)
+	if a == nil {
+		return 0, io.EOF
+	}
+	return d.m.copyOut(p, a, dst, &d.pending), nil
+}
+
+func (d *sockDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
+	if d.ep.Closing() {
+		return 0, ErrClosed
+	}
+	d.m.syscall(p)
+	d.m.Host.Use(p, d.m.Costs.Copy(len(src)))
+	d.ep.Send(p, netsim.Payload{Data: src}, nil)
+	return len(src), nil
+}
+
+func (d *sockDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
+
+func (d *sockDesc) Close(p *sim.Proc) error {
+	if d.pending != nil {
+		d.pending.Release()
+		d.pending = nil
+	}
+	d.ep.Close(p)
+	return nil
+}
+
+// listenDesc is a listening socket: it only accepts. Machine.Accept
+// unwraps it; every data operation is ErrNotSupported.
+type listenDesc struct {
+	m   *Machine
+	lst *netsim.Listener
+}
+
+func (d *listenDesc) Kind() DescKind { return KindListener }
+func (d *listenDesc) RefMode() bool  { return false }
+func (d *listenDesc) Seekable() bool { return false }
+
+func (d *listenDesc) ReadAgg(*sim.Proc, *Process, int64) (*core.Agg, error) {
+	return nil, ErrNotSupported
+}
+func (d *listenDesc) WriteAgg(*sim.Proc, *Process, *core.Agg) error { return ErrNotSupported }
+func (d *listenDesc) ReadCopy(*sim.Proc, *Process, []byte) (int, error) {
+	return 0, ErrNotSupported
+}
+func (d *listenDesc) WriteCopy(*sim.Proc, *Process, []byte) (int, error) {
+	return 0, ErrNotSupported
+}
+func (d *listenDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
+
+func (d *listenDesc) Close(*sim.Proc) error {
+	d.lst.Close()
+	return nil
+}

@@ -8,8 +8,12 @@ import (
 	"iolite/internal/sim"
 )
 
-// Open resolves a path for a process (name lookup + metadata, §4.2).
-func (m *Machine) Open(p *sim.Proc, name string) *fsim.File {
+// OpenFile resolves a path to its inode (name lookup + metadata, §4.2)
+// without creating a descriptor.
+//
+// Deprecated: use Open, which returns a file descriptor usable with the
+// unified IOLRead/IOLWrite/ReadPOSIX/WritePOSIX surface.
+func (m *Machine) OpenFile(p *sim.Proc, name string) *fsim.File {
 	m.syscall(p)
 	return m.FS.Lookup(p, name)
 }
@@ -37,7 +41,7 @@ func (m *Machine) loadExtent(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg 
 	return a
 }
 
-// IOLRead is the IOL_read path for files (Fig. 2, §3.5): it returns a
+// IOLReadFile is the IOL_read path for files (Fig. 2, §3.5): it returns a
 // buffer aggregate for [off, off+n) of the file, served from the unified
 // cache when possible, and makes the underlying chunks readable in the
 // calling process's domain. The caller owns the returned aggregate.
@@ -46,7 +50,11 @@ func (m *Machine) loadExtent(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg 
 // (free in steady state); a miss additionally costs the disk read. The
 // snapshot the caller receives stays intact even if the cached extent is
 // later replaced by a writer (§3.5).
-func (m *Machine) IOLRead(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) *core.Agg {
+//
+// Deprecated: this is the typed entry point kept for the descriptor layer
+// and for callers that manage inodes directly; new code should Open a file
+// descriptor and use the generic Machine.IOLRead.
+func (m *Machine) IOLReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
 	if off+n > f.Size() {
 		n = f.Size() - off
@@ -70,6 +78,9 @@ func (m *Machine) IOLRead(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) 
 // managing multiple I/O streams with different access-control lists. The
 // data is *not* entered into the shared file cache (its ACL is the pool's,
 // not the kernel's), so each call reads the backing store.
+//
+// Deprecated: new code should use OpenWithPool, which yields a descriptor
+// whose generic IOLRead takes this path.
 func (m *Machine) IOLReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
 	if off+n > f.Size() {
@@ -97,12 +108,15 @@ func (m *Machine) IOLReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim
 	return a
 }
 
-// IOLWrite is the IOL_write path for files (Fig. 2, §3.5): the aggregate's
-// contents replace [off, off+len) of the file. The cache entries covering
-// that range are replaced — not overwritten — so concurrent readers'
-// snapshots persist. No data copy occurs; the file system's write-behind
-// picks the data up by reference.
-func (m *Machine) IOLWrite(p *sim.Proc, pr *Process, f *fsim.File, off int64, a *core.Agg) {
+// IOLWriteFile is the IOL_write path for files (Fig. 2, §3.5): the
+// aggregate's contents replace [off, off+len) of the file. The cache
+// entries covering that range are replaced — not overwritten — so
+// concurrent readers' snapshots persist. No data copy occurs; the file
+// system's write-behind picks the data up by reference.
+//
+// Deprecated: new code should Open a file descriptor and use the generic
+// Machine.IOLWrite.
+func (m *Machine) IOLWriteFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, a *core.Agg) {
 	m.syscall(p)
 	core.CheckReadable(a, pr.Domain) // writer must itself have access
 	n := int64(a.Len())
@@ -166,11 +180,15 @@ func (m *Machine) prewarmMmapFile(pr *Process, f *fsim.File) {
 	mc.pushFront(e)
 }
 
-// ReadPOSIX is the backward-compatible read(2): the kernel obtains the data
-// exactly as IOLRead would (through the unified cache) and then copies it
-// into the application's private buffer (§4.2: "a data copy operation is
-// used to move data between application buffers and IO-Lite buffers").
-func (m *Machine) ReadPOSIX(p *sim.Proc, pr *Process, f *fsim.File, off int64, dst []byte) int {
+// ReadPOSIXFile is the backward-compatible read(2): the kernel obtains the
+// data exactly as IOLReadFile would (through the unified cache) and then
+// copies it into the application's private buffer (§4.2: "a data copy
+// operation is used to move data between application buffers and IO-Lite
+// buffers").
+//
+// Deprecated: new code should Open a file descriptor and use the generic
+// Machine.ReadPOSIX.
+func (m *Machine) ReadPOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, dst []byte) int {
 	m.syscall(p)
 	n := int64(len(dst))
 	if off+n > f.Size() {
@@ -191,10 +209,13 @@ func (m *Machine) ReadPOSIX(p *sim.Proc, pr *Process, f *fsim.File, off int64, d
 	return int(n)
 }
 
-// WritePOSIX is the backward-compatible write(2): the application's bytes
-// are copied into freshly allocated IO-Lite buffers, then follow the
+// WritePOSIXFile is the backward-compatible write(2): the application's
+// bytes are copied into freshly allocated IO-Lite buffers, then follow the
 // IOL_write path.
-func (m *Machine) WritePOSIX(p *sim.Proc, pr *Process, f *fsim.File, off int64, src []byte) {
+//
+// Deprecated: new code should Open a file descriptor and use the generic
+// Machine.WritePOSIX.
+func (m *Machine) WritePOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, src []byte) {
 	m.syscall(p)
 	a := core.PackBytes(p, m.FilePool, src) // PackBytes charges the copy
 	m.FileCache.InvalidateOverlap(f.ID, off, int64(len(src)))

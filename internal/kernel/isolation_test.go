@@ -99,7 +99,7 @@ func TestWriteRequiresAccess(t *testing.T) {
 				t.Error("mallory wrote data she cannot read")
 			}
 		}()
-		m.IOLWrite(p, mallory, f, 0, secret)
+		m.IOLWriteFile(p, mallory, f, 0, secret)
 	})
 	_ = mem.PageSize
 }

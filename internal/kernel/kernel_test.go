@@ -28,7 +28,7 @@ func TestIOLReadServesCachedSecondRead(t *testing.T) {
 	pr := m.NewProcess("app", 1<<20)
 	run(t, e, func(p *sim.Proc) {
 		t0 := p.Now()
-		a1 := m.IOLRead(p, pr, f, 0, f.Size())
+		a1 := m.IOLReadFile(p, pr, f, 0, f.Size())
 		coldCost := p.Now().Sub(t0)
 		want := m.FS.Expected(f, 0, f.Size())
 		if !a1.Equal(want) {
@@ -37,7 +37,7 @@ func TestIOLReadServesCachedSecondRead(t *testing.T) {
 		core.CheckReadable(a1, pr.Domain) // grants happened
 
 		t1 := p.Now()
-		a2 := m.IOLRead(p, pr, f, 0, f.Size())
+		a2 := m.IOLReadFile(p, pr, f, 0, f.Size())
 		hotCost := p.Now().Sub(t1)
 		if !a2.Equal(want) {
 			t.Fatal("second IOLRead wrong data")
@@ -63,13 +63,13 @@ func TestIOLWriteReplacesAndPreservesSnapshot(t *testing.T) {
 	f := m.FS.Create("/doc", 8192)
 	pr := m.NewProcess("app", 1<<20)
 	run(t, e, func(p *sim.Proc) {
-		snap := m.IOLRead(p, pr, f, 0, 8192)
+		snap := m.IOLReadFile(p, pr, f, 0, 8192)
 		before := snap.Materialize()
 
 		// Writer replaces the whole extent with new content.
 		newData := bytes.Repeat([]byte{0xCD}, 8192)
 		wa := core.PackBytes(p, pr.Pool, newData)
-		m.IOLWrite(p, pr, f, 0, wa)
+		m.IOLWriteFile(p, pr, f, 0, wa)
 		wa.Release()
 
 		// Snapshot semantics (§3.5).
@@ -77,7 +77,7 @@ func TestIOLWriteReplacesAndPreservesSnapshot(t *testing.T) {
 			t.Error("reader snapshot disturbed by IOL_write")
 		}
 		// New readers see new data, from cache.
-		a := m.IOLRead(p, pr, f, 0, 8192)
+		a := m.IOLReadFile(p, pr, f, 0, 8192)
 		if !a.Equal(newData) {
 			t.Error("IOLRead after write returned stale data")
 		}
@@ -97,7 +97,7 @@ func TestPOSIXReadCopiesAndCosts(t *testing.T) {
 	pr := m.NewProcess("app", 1<<20)
 	run(t, e, func(p *sim.Proc) {
 		dst := make([]byte, f.Size())
-		m.ReadPOSIX(p, pr, f, 0, dst) // cold: disk + copy
+		m.ReadPOSIXFile(p, pr, f, 0, dst) // cold: disk + copy
 		if !bytes.Equal(dst, m.FS.Expected(f, 0, f.Size())) {
 			t.Fatal("read(2) returned wrong data")
 		}
@@ -105,11 +105,11 @@ func TestPOSIXReadCopiesAndCosts(t *testing.T) {
 		// Warm read still pays the copy: that is the POSIX tax IOL_read
 		// removes.
 		t0 := p.Now()
-		m.ReadPOSIX(p, pr, f, 0, dst)
+		m.ReadPOSIXFile(p, pr, f, 0, dst)
 		warmPOSIX := p.Now().Sub(t0)
 
 		t1 := p.Now()
-		a := m.IOLRead(p, pr, f, 0, f.Size())
+		a := m.IOLReadFile(p, pr, f, 0, f.Size())
 		warmIOL := p.Now().Sub(t1)
 		a.Release()
 
@@ -125,9 +125,9 @@ func TestWritePOSIXRoundTrip(t *testing.T) {
 	pr := m.NewProcess("app", 1<<20)
 	run(t, e, func(p *sim.Proc) {
 		data := bytes.Repeat([]byte{7}, 3000)
-		m.WritePOSIX(p, pr, f, 500, data)
+		m.WritePOSIXFile(p, pr, f, 500, data)
 		dst := make([]byte, 3000)
-		m.ReadPOSIX(p, pr, f, 500, dst)
+		m.ReadPOSIXFile(p, pr, f, 500, dst)
 		if !bytes.Equal(dst, data) {
 			t.Fatal("write(2)/read(2) round trip failed")
 		}
@@ -177,7 +177,7 @@ func TestMemoryPressureEvictsFileCache(t *testing.T) {
 	run(t, e, func(p *sim.Proc) {
 		for i := 0; i < 40; i++ {
 			f := m.FS.Create("/f"+string(rune('a'+i)), 1<<20)
-			a := m.IOLRead(p, pr, f, 0, f.Size())
+			a := m.IOLReadFile(p, pr, f, 0, f.Size())
 			a.Release()
 		}
 	})
@@ -218,8 +218,8 @@ func TestGDSPolicyPluggable(t *testing.T) {
 	big := m.FS.Create("/big", 1<<20)
 	small := m.FS.Create("/small", 4<<10)
 	run(t, e, func(p *sim.Proc) {
-		m.IOLRead(p, pr, big, 0, big.Size()).Release()
-		m.IOLRead(p, pr, small, 0, small.Size()).Release()
+		m.IOLReadFile(p, pr, big, 0, big.Size()).Release()
+		m.IOLReadFile(p, pr, small, 0, small.Size()).Release()
 		m.FileCache.EvictOne()
 	})
 	if m.FileCache.Contains(cache.Key{File: small.ID, Off: 0, Len: small.Size()}) == false {
@@ -298,12 +298,12 @@ func TestIOLReadBeyondEOFTruncates(t *testing.T) {
 	f := m.FS.Create("/short", 1000)
 	pr := m.NewProcess("app", 1<<20)
 	run(t, e, func(p *sim.Proc) {
-		a := m.IOLRead(p, pr, f, 500, 10000)
+		a := m.IOLReadFile(p, pr, f, 500, 10000)
 		if a.Len() != 500 {
 			t.Fatalf("Len = %d, want 500 (IOL_read may return less than asked)", a.Len())
 		}
 		a.Release()
-		empty := m.IOLRead(p, pr, f, 1000, 10)
+		empty := m.IOLReadFile(p, pr, f, 1000, 10)
 		if empty.Len() != 0 {
 			t.Fatal("read past EOF returned data")
 		}

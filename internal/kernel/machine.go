@@ -113,8 +113,12 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 // CPU returns the machine's CPU resource.
 func (m *Machine) CPU() *sim.Resource { return m.Host.CPU() }
 
-// syscall charges one system-call entry/exit.
+// syscall charges one system-call entry/exit. A nil p (setup or prewarm
+// context, outside measurement) charges nothing.
 func (m *Machine) syscall(p *sim.Proc) {
+	if p == nil {
+		return
+	}
 	m.Host.Use(p, m.Costs.Syscall)
 }
 
@@ -130,6 +134,11 @@ type Process struct {
 	// ACLs").
 	Pool     *core.Pool
 	memPages int
+
+	// fds is the process's open-file table: integer descriptors into
+	// shared openFD entries (Dup aliases an entry; Close drops one
+	// reference). See desc.go.
+	fds []*openFD
 }
 
 // NewProcess creates a process with memBytes of private (non-IO) memory.

@@ -35,7 +35,7 @@ func TestPrewarmUnifiedStopsAtHeadroom(t *testing.T) {
 	pr := m.NewProcess("app", 1<<20)
 	m.Disk.ResetStats()
 	run(t, e, func(p *sim.Proc) {
-		a := m.IOLRead(p, pr, files[0], 0, files[0].Size())
+		a := m.IOLReadFile(p, pr, files[0], 0, files[0].Size())
 		a.Release()
 	})
 	if reads, _, _, _ := m.Disk.Stats(); reads != 0 {

@@ -145,6 +145,10 @@ func (e *Endpoint) Host() *Host { return e.host }
 // RefMode reports whether this endpoint sends by reference.
 func (e *Endpoint) RefMode() bool { return e.refMode }
 
+// Closing reports whether Close has been called on this endpoint's send
+// direction; further sends would panic.
+func (e *Endpoint) Closing() bool { return e.closing }
+
 // SockBufPages reports the copy-mode socket-buffer pages this endpoint
 // currently pins (the Figure 12 memory effect).
 func (e *Endpoint) SockBufPages() int { return e.sockPages }

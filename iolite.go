@@ -10,15 +10,22 @@
 // disk and file system, the unified cache, a TCP-like network stack with a
 // zero-copy send path, and copy-free IPC.
 //
+// I/O goes through per-process integer file descriptors, exactly as the
+// paper's Fig. 2 presents it: one IOL_read/IOL_write pair (and the
+// copy-based POSIX read/write) works identically on regular files, pipes,
+// and network sockets.
+//
 // Quick start:
 //
 //	sys := iolite.NewSystem(iolite.SystemConfig{})
-//	f := sys.FS.Create("/hello", 4096)
+//	sys.FS.Create("/hello", 4096)
 //	proc := sys.NewProcess("app", 1<<20)
 //	sys.Run(func(p *iolite.Proc) {
-//	    agg := sys.IOLRead(p, proc, f, 0, f.Size()) // zero-copy cached read
+//	    fd, _ := sys.Open(p, proc, "/hello")
+//	    agg, _ := sys.IOLRead(p, proc, fd, 4096) // zero-copy cached read
 //	    defer agg.Release()
 //	    _ = agg.Materialize()
+//	    sys.Close(p, proc, fd)
 //	})
 //
 // See examples/ for realistic scenarios (a web server, a CGI pipeline, the
@@ -35,7 +42,8 @@ import (
 	"iolite/internal/sim"
 )
 
-// Re-exported core types: the buffer aggregate ADT of §3.1/§3.4.
+// Re-exported core types: the buffer aggregate ADT of §3.1/§3.4 and the
+// descriptor surface.
 type (
 	// Agg is a mutable buffer aggregate over immutable IO-Lite buffers.
 	Agg = core.Agg
@@ -47,12 +55,18 @@ type (
 	Pool = core.Pool
 	// Proc is a simulated process context.
 	Proc = sim.Proc
-	// Process is a protection domain with its default pool.
+	// Process is a protection domain with its default pool and its file
+	// descriptor table.
 	Process = kernel.Process
 	// File is a file in the simulated file system.
 	File = fsim.File
 	// Pipe is a UNIX pipe (copy-mode or IO-Lite reference-mode).
 	Pipe = ipcsim.Pipe
+	// Desc is the vnode-style descriptor interface behind every fd;
+	// implement it and Process.Install it to add new descriptor kinds.
+	Desc = kernel.Desc
+	// DescKind names a descriptor's flavor.
+	DescKind = kernel.DescKind
 )
 
 // Pipe modes.
@@ -60,6 +74,25 @@ const (
 	PipeCopy = ipcsim.ModeCopy
 	PipeRef  = ipcsim.ModeRef
 )
+
+// Descriptor kinds.
+const (
+	KindFile     = kernel.KindFile
+	KindPipe     = kernel.KindPipe
+	KindSocket   = kernel.KindSocket
+	KindListener = kernel.KindListener
+)
+
+// Descriptor-layer errors. End of stream is io.EOF.
+var (
+	ErrBadFD        = kernel.ErrBadFD
+	ErrClosed       = kernel.ErrClosed
+	ErrNotSupported = kernel.ErrNotSupported
+	ErrNotExist     = kernel.ErrNotExist
+)
+
+// PipeOf returns the pipe behind a pipe descriptor (for Stats).
+func PipeOf(d Desc) (*Pipe, bool) { return kernel.PipeOf(d) }
 
 // SystemConfig sizes a simulated machine.
 type SystemConfig struct {

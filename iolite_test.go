@@ -2,6 +2,8 @@ package iolite
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"iolite/internal/core"
@@ -14,11 +16,24 @@ func TestSystemQuickstartFlow(t *testing.T) {
 	want := sys.FS.Expected(f, 0, f.Size())
 
 	sys.Run(func(p *Proc) {
-		a := sys.IOLRead(p, app, f, 0, f.Size())
+		fd, err := sys.Open(p, app, "/doc")
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		a, err := sys.IOLRead(p, app, fd, f.Size())
+		if err != nil {
+			t.Fatalf("IOLRead: %v", err)
+		}
 		if !bytes.Equal(a.Materialize(), want) {
 			t.Error("IOLRead returned wrong bytes")
 		}
-		b := sys.IOLRead(p, app, f, 0, f.Size())
+		if _, err := sys.Seek(app, fd, 0, io.SeekStart); err != nil {
+			t.Fatalf("Seek: %v", err)
+		}
+		b, err := sys.IOLRead(p, app, fd, f.Size())
+		if err != nil {
+			t.Fatalf("second IOLRead: %v", err)
+		}
 		if a.Slices()[0].Buf != b.Slices()[0].Buf {
 			t.Error("cache hit did not share buffers")
 		}
@@ -30,6 +45,22 @@ func TestSystemQuickstartFlow(t *testing.T) {
 		a.Release()
 		b.Release()
 		hdr.Release()
+		if err := sys.Close(p, app, fd); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if _, err := sys.IOLRead(p, app, fd, 1); !errors.Is(err, ErrBadFD) {
+			t.Errorf("read after close: err = %v, want ErrBadFD", err)
+		}
+	})
+}
+
+func TestSystemOpenMissingFile(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	app := sys.NewProcess("app", 1<<20)
+	sys.Run(func(p *Proc) {
+		if _, err := sys.Open(p, app, "/nope"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("Open missing: err = %v, want ErrNotExist", err)
+		}
 	})
 }
 
@@ -52,17 +83,19 @@ func TestSystemPipeProducersConsumers(t *testing.T) {
 	sys := NewSystem(SystemConfig{})
 	prod := sys.NewProcess("prod", 1<<20)
 	cons := sys.NewProcess("cons", 1<<20)
-	pipe := sys.NewPipe(PipeRef, cons)
+	rfd, wfd := sys.Pipe2(cons, prod, PipeRef)
 	msg := []byte("through the reference pipe")
 	var got []byte
 	sys.Go("prod", func(p *Proc) {
-		pipe.WriteAgg(p, core.PackBytes(p, prod.Pool, msg))
-		pipe.CloseWrite(p)
+		if err := sys.IOLWrite(p, prod, wfd, core.PackBytes(p, prod.Pool, msg)); err != nil {
+			t.Errorf("IOLWrite: %v", err)
+		}
+		sys.Close(p, prod, wfd)
 	})
 	sys.Go("cons", func(p *Proc) {
 		for {
-			a := pipe.ReadAgg(p)
-			if a == nil {
+			a, err := sys.IOLRead(p, cons, rfd, 1<<20)
+			if err != nil {
 				return
 			}
 			got = append(got, a.Materialize()...)
