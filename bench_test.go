@@ -102,3 +102,10 @@ func BenchmarkFig12WANDelay(b *testing.B) {
 func BenchmarkFig13Applications(b *testing.B) {
 	runFigure(b, "gcc_normalized", experiments.Fig13)
 }
+
+// BenchmarkFigProxy — the caching reverse-proxy tier: four origin server
+// kinds served directly and through the copying, zero-copy, and splice
+// proxies.
+func BenchmarkFigProxy(b *testing.B) {
+	runFigure(b, "Apache_direct_Mbps", experiments.FigProxy)
+}

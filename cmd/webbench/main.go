@@ -1,9 +1,11 @@
-// Command webbench regenerates the paper's Web-server figures (3-12) on
-// the simulated testbed and prints the tables they plot.
+// Command webbench regenerates the paper's Web-server figures (3-13) on
+// the simulated testbed — plus the caching reverse-proxy scenario — and
+// prints the tables they plot.
 //
 // Usage:
 //
 //	webbench -fig 3          # one figure
+//	webbench -fig proxy      # the reverse-proxy tier comparison
 //	webbench -fig all -quick # every figure, reduced point set
 package main
 
@@ -17,23 +19,24 @@ import (
 )
 
 var figures = map[string]func(experiments.Options) *experiments.Table{
-	"3":  experiments.Fig3,
-	"4":  experiments.Fig4,
-	"5":  experiments.Fig5,
-	"6":  experiments.Fig6,
-	"7":  experiments.Fig7,
-	"8":  experiments.Fig8,
-	"9":  experiments.Fig9,
-	"10": experiments.Fig10,
-	"11": experiments.Fig11,
-	"12": experiments.Fig12,
-	"13": experiments.Fig13,
+	"3":     experiments.Fig3,
+	"4":     experiments.Fig4,
+	"5":     experiments.Fig5,
+	"6":     experiments.Fig6,
+	"7":     experiments.Fig7,
+	"8":     experiments.Fig8,
+	"9":     experiments.Fig9,
+	"10":    experiments.Fig10,
+	"11":    experiments.Fig11,
+	"12":    experiments.Fig12,
+	"13":    experiments.Fig13,
+	"proxy": experiments.FigProxy,
 }
 
-var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13"}
+var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure number (3-13) or 'all'")
+	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
@@ -46,7 +49,7 @@ func main() {
 	names := figureOrder
 	if *fig != "all" {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13 or all)\n", *fig)
+			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, or all)\n", *fig)
 			os.Exit(2)
 		}
 		names = []string{*fig}

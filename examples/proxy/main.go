@@ -1,0 +1,58 @@
+// Proxy: a two-tier topology — clients → caching reverse proxy → origin
+// server — comparing three proxy data paths over the same workload:
+//
+//   - proxy-copy: the conventional proxy; every byte is copied out of the
+//     origin socket, into the cache, and back into the client socket, and
+//     checksummed on every send.
+//
+//   - proxy-zerocopy: IOL_read the origin socket, cache the sealed buffer
+//     aggregate, IOL_write the same buffers to every client. Zero copies;
+//     checksums cached after the first send.
+//
+//   - proxy-splice: cache hits bypass user space entirely — each cached
+//     response sits behind a sealed-object descriptor, and one
+//     Machine.SpliceAt syscall moves header+body to the client socket.
+//
+// Run it with:
+//
+//	go run ./examples/proxy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/apps"
+	"iolite/internal/experiments"
+)
+
+func main() {
+	fmt.Println("32 clients fetching 8 x 64 KB documents through a caching reverse proxy")
+	fmt.Println("(origin: Flash-Lite; after one cold pass every request is a proxy cache hit)")
+	fmt.Println()
+
+	direct := experiments.RunProxy(experiments.ProxyParams{
+		Origin: experiments.CfgFlashLite,
+		Direct: true,
+		Warmup: time.Second, Measure: 3 * time.Second, Seed: 42,
+	})
+	fmt.Printf("%-28s %7.1f Mb/s                     (cpu %2.0f%%)\n",
+		direct.Label, direct.Mbps, direct.ServerCPUUtil*100)
+
+	for _, mode := range []apps.ProxyMode{
+		apps.ProxyCopy, apps.ProxyZeroCopy, apps.ProxySplice,
+	} {
+		r := experiments.RunProxy(experiments.ProxyParams{
+			Origin: experiments.CfgFlashLite,
+			Mode:   mode,
+			Warmup: time.Second, Measure: 3 * time.Second, Seed: 42,
+		})
+		fmt.Printf("%-28s %7.1f Mb/s  copied %7.1f MB  (cpu %2.0f%%, hit %.2f, ck-hit %.2f)\n",
+			r.Label, r.Mbps, r.CopiedMB, r.ServerCPUUtil*100, r.HitRate, r.CksumHitRate)
+	}
+
+	fmt.Println("\nThe zero-copy relay eliminates the per-byte copy work; the splice hit path")
+	fmt.Println("also drops the per-slice user-boundary handling, so the proxy serves the same")
+	fmt.Println("bandwidth with the least CPU — headroom that becomes throughput once the")
+	fmt.Println("links, not the CPU, stop being the bottleneck.")
+}

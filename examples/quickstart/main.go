@@ -40,7 +40,7 @@ func main() {
 		// Second read: served from the cache by reference — same physical
 		// buffers, no copy, no disk. The descriptor keeps a cursor, so
 		// rewind first.
-		sys.Seek(app, fd, 0, io.SeekStart)
+		sys.Seek(p, app, fd, 0, io.SeekStart)
 		t1 := p.Now()
 		a2, _ := sys.IOLRead(p, app, fd, file.Size())
 		fmt.Printf("warm IOL_read: %6d bytes in %v (shared buffer: %v)\n",
@@ -58,13 +58,13 @@ func main() {
 		// Snapshot semantics: replace the file's content while holding a1.
 		snapshot := a1.Materialize()
 		newContent := bytes.Repeat([]byte{0xAB}, int(file.Size()))
-		sys.Seek(app, fd, 0, io.SeekStart)
+		sys.Seek(p, app, fd, 0, io.SeekStart)
 		w := core.PackBytes(p, app.Pool, newContent)
 		sys.IOLWrite(p, app, fd, w) // IOL_write takes ownership of w
 		fmt.Printf("snapshot intact after IOL_write: %v\n",
 			bytes.Equal(a1.Materialize(), snapshot))
 
-		sys.Seek(app, fd, 0, io.SeekStart)
+		sys.Seek(p, app, fd, 0, io.SeekStart)
 		a3, _ := sys.IOLRead(p, app, fd, file.Size())
 		fmt.Printf("new readers see new data:        %v\n",
 			bytes.Equal(a3.Materialize(), newContent))

@@ -1,0 +1,392 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/core"
+	"iolite/internal/httpd"
+	"iolite/internal/kernel"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// The caching reverse proxy: a second-tier machine between the clients and
+// the origin server. On a miss it fetches the document over its own
+// outbound socket and stores the complete response; on a hit it serves the
+// stored response without contacting the origin. The three modes span the
+// design space the ROADMAP asks to measure:
+//
+//   - ProxyCopy is the conventional store-and-forward proxy: POSIX reads
+//     copy every delivery out of socket buffers, the cache holds private
+//     bytes, and every send copies them back in and checksums them on the
+//     wire.
+//   - ProxyZeroCopy is the IO-Lite port: IOL_read on the origin socket
+//     yields the sender's sealed buffers by reference, the cache holds the
+//     aggregate, and IOL_write passes the same buffers to every client —
+//     zero copies end to end, checksums cached after the first send.
+//   - ProxySplice additionally serves hits through the kernel splice fast
+//     path: each cache entry sits behind a sealed-object descriptor
+//     (kernel.NewAggDesc) in the proxy's per-stream pool cache, and one
+//     Machine.SpliceAt moves header+body to the client socket with no
+//     user-space aggregate handling at all.
+
+// ProxyMode selects the proxy's data path.
+type ProxyMode int
+
+// Proxy modes.
+const (
+	ProxyCopy ProxyMode = iota
+	ProxyZeroCopy
+	ProxySplice
+)
+
+func (m ProxyMode) String() string {
+	switch m {
+	case ProxyCopy:
+		return "proxy-copy"
+	case ProxyZeroCopy:
+		return "proxy-zerocopy"
+	case ProxySplice:
+		return "proxy-splice"
+	}
+	return "unknown"
+}
+
+// RefMode reports whether the mode sends to clients by reference.
+func (m ProxyMode) RefMode() bool { return m != ProxyCopy }
+
+// proxyRequestWork is the per-request parse/dispatch cost of the lean
+// event-driven proxy.
+const proxyRequestWork = 15 * time.Microsecond
+
+// ProxyConfig wires a proxy tier.
+type ProxyConfig struct {
+	Mode ProxyMode
+	// Machine is the proxy's own machine.
+	Machine *kernel.Machine
+	// Listener is the client-facing listener on Machine's host.
+	Listener *netsim.Listener
+	// Origin is the origin server's listener, reached over OriginLink.
+	Origin     *netsim.Listener
+	OriginLink *netsim.Link
+	// OriginRef must be true when the origin is an IO-Lite server (its
+	// sends pass buffer references).
+	OriginRef bool
+	// Tss is the socket send buffer size for both tiers (default 64 KB).
+	Tss int
+	// CacheBytes caps the response cache (0 = unlimited). Eviction is LRU.
+	CacheBytes int64
+}
+
+// proxyEntry is one cached response (header + body, exactly as the origin
+// sent it). Exactly one representation is populated, per mode: raw bytes
+// for the copying proxy, a sealed aggregate for the zero-copy relay, or a
+// sealed-object descriptor for the splice path.
+type proxyEntry struct {
+	path string
+	size int64
+	raw  []byte
+	resp *core.Agg
+	fd   int
+	last sim.Time
+
+	// inflight counts connections currently sending this entry; eviction
+	// of a busy entry only marks it dead, and the last sender reclaims it
+	// (otherwise the splice fd could be closed — and its slot reused —
+	// under a concurrent send).
+	inflight int
+	dead     bool
+}
+
+// Proxy is a running reverse-proxy tier.
+type Proxy struct {
+	cfg  ProxyConfig
+	m    *kernel.Machine
+	proc *kernel.Process
+	lfd  int
+
+	cache      map[string]*proxyEntry
+	cacheBytes int64
+
+	requests int64
+	hits     int64
+	misses   int64
+	bytesOut int64
+	aborted  int64
+}
+
+// NewProxy creates and starts a reverse proxy on cfg.Listener.
+func NewProxy(cfg ProxyConfig) *Proxy {
+	if cfg.Tss <= 0 {
+		cfg.Tss = 64 << 10
+	}
+	px := &Proxy{cfg: cfg, m: cfg.Machine, cache: make(map[string]*proxyEntry)}
+	px.proc = px.m.NewProcess("proxy", 2<<20)
+	px.lfd = px.m.Listen(px.proc, cfg.Listener)
+	px.m.Eng.Go("proxy.accept", px.acceptLoop)
+	return px
+}
+
+// Process returns the proxy's kernel process.
+func (px *Proxy) Process() *kernel.Process { return px.proc }
+
+// Stats reports requests relayed, cache hits/misses, bytes sent to
+// clients, and responses not fully delivered (a client write error or a
+// failed origin fetch answered 502). Every request is exactly one hit or
+// one miss, so hits+misses always equals requests.
+func (px *Proxy) Stats() (requests, hits, misses, bytesOut, aborted int64) {
+	return px.requests, px.hits, px.misses, px.bytesOut, px.aborted
+}
+
+// HitRate reports the fraction of requests served from the cache.
+func (px *Proxy) HitRate() float64 {
+	if px.hits+px.misses == 0 {
+		return 0
+	}
+	return float64(px.hits) / float64(px.hits+px.misses)
+}
+
+// ResetStats zeroes the counters (cache contents stay).
+func (px *Proxy) ResetStats() {
+	px.requests, px.hits, px.misses, px.bytesOut, px.aborted = 0, 0, 0, 0, 0
+}
+
+func (px *Proxy) acceptLoop(p *sim.Proc) {
+	for {
+		cfd, err := px.m.Accept(p, px.proc, px.lfd)
+		if err != nil {
+			return
+		}
+		px.m.Eng.Go("proxy.conn", func(hp *sim.Proc) {
+			px.handleConn(hp, cfd)
+		})
+	}
+}
+
+const proxyRecvChunk = 64 << 10
+
+// handleConn serves proxied requests on client connection cfd until close.
+func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
+	var pending []byte
+	var buf []byte
+	for {
+		var path string
+		var keepalive, ok bool
+		for {
+			path, keepalive, ok = httpd.ParseRequest(pending)
+			if ok {
+				pending = nil
+				break
+			}
+			if px.cfg.Mode.RefMode() {
+				a, err := px.m.IOLRead(p, px.proc, cfd, proxyRecvChunk)
+				if err != nil {
+					px.m.Close(p, px.proc, cfd)
+					return
+				}
+				pending = append(pending, a.Materialize()...)
+				a.Release()
+			} else {
+				if buf == nil {
+					buf = make([]byte, proxyRecvChunk)
+				}
+				n, err := px.m.ReadPOSIX(p, px.proc, cfd, buf)
+				if err != nil {
+					px.m.Close(p, px.proc, cfd)
+					return
+				}
+				pending = append(pending, buf[:n]...)
+			}
+		}
+
+		px.m.Host.Use(p, proxyRequestWork)
+
+		// Pin the entry (inflight++) before any further yield: a concurrent
+		// miss may evict it mid-send, and its resources — above all the
+		// splice fd, whose table slot would otherwise be reused — must
+		// outlive every sender. The last sender reclaims a dead entry.
+		e := px.cache[path]
+		if e != nil {
+			px.hits++
+			e.inflight++
+		} else {
+			px.misses++
+			var err error
+			if e, err = px.fetch(p, path); err != nil {
+				px.requests++
+				px.aborted++
+				px.m.WritePOSIX(p, px.proc, cfd, []byte("HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n"))
+				px.m.Close(p, px.proc, cfd)
+				return
+			}
+			e.inflight++
+			px.insert(p, e)
+		}
+		px.requests++
+		e.last = p.Now()
+		sent := px.send(p, cfd, e)
+		e.inflight--
+		if e.dead && e.inflight == 0 {
+			px.release(p, e)
+		}
+		if !sent {
+			px.aborted++
+			px.m.Close(p, px.proc, cfd)
+			return
+		}
+		px.bytesOut += e.size
+
+		if !keepalive {
+			px.m.Close(p, px.proc, cfd)
+			return
+		}
+	}
+}
+
+// fetch retrieves path from the origin over a fresh outbound connection and
+// returns it as a cache entry (the complete response, header included).
+func (px *Proxy) fetch(p *sim.Proc, path string) (*proxyEntry, error) {
+	ofd, err := px.m.Connect(p, px.proc, px.cfg.OriginLink, px.cfg.Origin, netsim.ConnOpts{
+		Tss:           px.cfg.Tss,
+		ServerRefMode: px.cfg.OriginRef,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer px.m.Close(p, px.proc, ofd)
+	if _, err := px.m.WritePOSIX(p, px.proc, ofd, httpd.FormatRequest(path, false)); err != nil {
+		return nil, err
+	}
+
+	e := &proxyEntry{path: path, fd: -1}
+	if px.cfg.Mode.RefMode() {
+		// Zero-copy receive: the origin's sealed buffers arrive by
+		// reference, and the response aggregate is assembled from them
+		// without touching a byte.
+		resp := core.NewAgg()
+		var total int64 = -1
+		for total < 0 || int64(resp.Len()) < total {
+			a, err := px.m.IOLRead(p, px.proc, ofd, kernel.MaxIO)
+			if err != nil {
+				resp.Release()
+				return nil, err
+			}
+			resp.Concat(a)
+			a.Release()
+			if total < 0 {
+				if bodyStart, n, ok := httpd.ParseResponseHeader(resp.Materialize()); ok {
+					total = int64(bodyStart) + n
+				}
+			}
+		}
+		px.drain(p, ofd)
+		e.resp = resp
+		e.size = int64(resp.Len())
+		return e, nil
+	}
+
+	// Conventional receive: every delivery is copied out of socket buffers
+	// into the proxy's private cache bytes.
+	var raw []byte
+	var total int64 = -1
+	buf := make([]byte, proxyRecvChunk)
+	for total < 0 || int64(len(raw)) < total {
+		n, err := px.m.ReadPOSIX(p, px.proc, ofd, buf)
+		if err != nil {
+			return nil, err
+		}
+		raw = append(raw, buf[:n]...)
+		if total < 0 {
+			if bodyStart, n, ok := httpd.ParseResponseHeader(raw); ok {
+				total = int64(bodyStart) + n
+			}
+		}
+	}
+	px.drain(p, ofd)
+	e.raw = raw
+	e.size = int64(len(raw))
+	return e, nil
+}
+
+// drain consumes the origin's FIN so the connection tears down cleanly.
+func (px *Proxy) drain(p *sim.Proc, ofd int) {
+	for {
+		a, err := px.m.IOLRead(p, px.proc, ofd, kernel.MaxIO)
+		if err != nil {
+			return
+		}
+		a.Release()
+	}
+}
+
+// insert adds e to the cache, evicting least-recently-used entries when
+// over the configured capacity. In splice mode the response is sealed
+// behind an object descriptor so hits can bypass user space entirely.
+func (px *Proxy) insert(p *sim.Proc, e *proxyEntry) {
+	if px.cfg.Mode == ProxySplice {
+		e.fd = px.proc.Install(kernel.NewAggDesc(px.m, e.resp))
+		e.resp = nil // the descriptor owns the aggregate now
+	}
+	e.last = p.Now()
+	px.cache[e.path] = e
+	px.cacheBytes += e.size
+	for px.cfg.CacheBytes > 0 && px.cacheBytes > px.cfg.CacheBytes && len(px.cache) > 1 {
+		var victim *proxyEntry
+		for _, c := range px.cache {
+			if c != e && (victim == nil || c.last < victim.last) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			return
+		}
+		px.evict(p, victim)
+	}
+}
+
+// evict removes one entry from the cache. Resources are reclaimed at once
+// when the entry is idle; a busy entry is marked dead and the last
+// in-flight sender reclaims it.
+func (px *Proxy) evict(p *sim.Proc, e *proxyEntry) {
+	delete(px.cache, e.path)
+	px.cacheBytes -= e.size
+	if e.inflight > 0 {
+		e.dead = true
+		return
+	}
+	px.release(p, e)
+}
+
+// release frees whatever representation an evicted entry holds.
+func (px *Proxy) release(p *sim.Proc, e *proxyEntry) {
+	switch {
+	case e.fd >= 0:
+		px.m.Close(p, px.proc, e.fd) // the aggDesc releases the aggregate
+		e.fd = -1
+	case e.resp != nil:
+		e.resp.Release()
+		e.resp = nil
+	}
+}
+
+// send delivers a cached response to client connection cfd, per mode. It
+// reports false on a write error (client gone).
+func (px *Proxy) send(p *sim.Proc, cfd int, e *proxyEntry) bool {
+	switch px.cfg.Mode {
+	case ProxyCopy:
+		_, err := px.m.WritePOSIX(p, px.proc, cfd, e.raw)
+		return err == nil
+	case ProxyZeroCopy:
+		resp := e.resp.Clone()
+		if err := px.m.IOLWrite(p, px.proc, cfd, resp); err != nil {
+			resp.Release()
+			return false
+		}
+		return true
+	case ProxySplice:
+		_, err := px.m.SpliceAt(p, px.proc, cfd, e.fd, 0, kernel.MaxIO)
+		return err == nil
+	}
+	panic(fmt.Sprintf("apps: unknown proxy mode %d", px.cfg.Mode))
+}

@@ -94,13 +94,31 @@ func (c *Cache) Stats() (hits, misses, hitBytes, missBytes int64) {
 	return c.hits, c.misses, c.hitBytes, c.missBytes
 }
 
-// slice returns the partial sum for s, consulting the cache. The CPU time
-// for computing missed sums is charged to p (nil skips cost accounting).
+// HitRate reports the fraction of lookups that hit (0 when idle).
+func (c *Cache) HitRate() float64 {
+	if c.hits+c.misses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses)
+}
+
+// ResetStats zeroes the hit/miss counters (cached sums stay valid), so a
+// measurement window can exclude warmup.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.hitBytes, c.missBytes = 0, 0, 0, 0
+}
+
+// slice returns the partial sum for s, consulting the cache. A hit charges
+// only the key probe (CksumLookup); the CPU time for computing missed sums
+// is charged to p (nil skips cost accounting).
 func (c *Cache) slice(p *sim.Proc, costs *sim.CostModel, s core.Slice) PartialSum {
 	k := cacheKey{buf: s.Buf.ID(), gen: s.Buf.Gen(), off: s.Off, len: s.Len}
 	if sum, ok := c.entries[k]; ok {
 		c.hits++
 		c.hitBytes += int64(s.Len)
+		if p != nil {
+			p.Sleep(costs.CksumLookup)
+		}
 		return sum
 	}
 	c.misses++

@@ -101,17 +101,23 @@ func TestAggregateChecksumCorrectAndCached(t *testing.T) {
 			t.Errorf("cached cksum = %#x, want %#x", got, want)
 		}
 		coldCost := p.Now().Sub(t0)
-		if coldCost < ev.c.Cksum(10000) {
-			t.Errorf("cold checksum cost %v, want ≥ %v", coldCost, ev.c.Cksum(10000))
+		if coldCost < ev.c.PriceCksum(10000) {
+			t.Errorf("cold checksum cost %v, want ≥ %v", coldCost, ev.c.PriceCksum(10000))
 		}
 
-		// Second call: all slices cached, no CPU charged.
+		// Second call: all slices cached — each charges only the key probe
+		// (CksumLookup), never a pass over the bytes.
 		t1 := p.Now()
 		if got := cache.Aggregate(p, ev.c, a); got != want {
 			t.Errorf("second cksum = %#x, want %#x", got, want)
 		}
-		if p.Now() != t1 {
-			t.Errorf("cached checksum charged %v", p.Now().Sub(t1))
+		hotCost := p.Now().Sub(t1)
+		wantHot := sim.Duration(a.NumSlices()) * ev.c.CksumLookup
+		if hotCost != wantHot {
+			t.Errorf("cached checksum charged %v, want %v (lookups only)", hotCost, wantHot)
+		}
+		if hotCost >= ev.c.PriceCksum(a.Len()) {
+			t.Errorf("hit cost %v not below byte cost %v", hotCost, ev.c.PriceCksum(a.Len()))
 		}
 		hits, misses, _, _ := cache.Stats()
 		if hits == 0 || misses == 0 {
@@ -167,8 +173,8 @@ func TestAggregateNoCacheAlwaysCharges(t *testing.T) {
 			if got := AggregateNoCache(p, ev.c, a); got != want {
 				t.Errorf("cksum = %#x, want %#x", got, want)
 			}
-			if p.Now().Sub(t0) != ev.c.Cksum(5000) {
-				t.Errorf("pass %d charged %v, want %v", i, p.Now().Sub(t0), ev.c.Cksum(5000))
+			if p.Now().Sub(t0) != ev.c.PriceCksum(5000) {
+				t.Errorf("pass %d charged %v, want %v", i, p.Now().Sub(t0), ev.c.PriceCksum(5000))
 			}
 		}
 		a.Release()

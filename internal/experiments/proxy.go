@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"iolite/internal/apps"
+	"iolite/internal/cache"
+	"iolite/internal/httpd"
+	"iolite/internal/kernel"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// The proxy experiment: clients → caching reverse proxy → origin server,
+// the multi-tier scenario the ROADMAP asks for. It measures the zero-copy
+// relay (IOL_read one socket, IOL_write the other) and the splice hit path
+// against a conventional copying proxy, and each proxied configuration
+// against clients hitting the origin directly.
+
+// ProxyParams describes one proxy-topology run.
+type ProxyParams struct {
+	// Origin is the origin server configuration.
+	Origin ServerConfig
+	// Mode is the proxy data path. Ignored when Direct.
+	Mode apps.ProxyMode
+	// Direct bypasses the proxy tier: clients dial the origin.
+	Direct bool
+
+	// Docs static documents of DocBytes each make up the workload
+	// (defaults 8 × 64 KB); requests sample them uniformly, so after one
+	// cold pass the proxy serves everything from its cache.
+	Docs     int
+	DocBytes int64
+
+	Clients        int
+	ClientMachines int
+	Persistent     bool
+	Tss            int
+
+	Warmup  time.Duration
+	Measure time.Duration
+	Seed    int64
+}
+
+// ProxyResult is one proxy run's outcome, including the charged-cost
+// counters the figure quantifies: bytes of copy work priced anywhere in
+// the simulation and the serving tier's checksum-cache hit rate.
+type ProxyResult struct {
+	Label    string
+	Mbps     float64
+	Requests int64
+	Errors   int64
+	Aborted  int64
+	// HitRate is the proxy cache hit rate (1 when Direct is meaningless: 0).
+	HitRate float64
+	// CopiedMB is the copy work charged during measurement, in megabytes.
+	CopiedMB float64
+	// CksumHitRate is the serving machine's checksum-cache hit rate during
+	// measurement (0 when the machine has no checksum cache).
+	CksumHitRate float64
+	// ServerCPUUtil is the serving tier's (proxy or origin) CPU utilization.
+	ServerCPUUtil float64
+}
+
+// originMachineConfig builds the kernel config for an origin (or direct)
+// server of the given kind, mirroring RunWeb.
+func originMachineConfig(sc ServerConfig, memBytes int64) kernel.Config {
+	kcfg := kernel.Config{MemBytes: memBytes}
+	if sc.Kind.Lite() {
+		if sc.Policy == "LRU" {
+			kcfg.Policy = cache.NewLRU()
+		} else {
+			kcfg.Policy = cache.NewGDS()
+		}
+		kcfg.ChecksumCache = !sc.NoCksumCache
+	}
+	return kcfg
+}
+
+// RunProxy executes one proxy-topology experiment.
+func RunProxy(pp ProxyParams) ProxyResult {
+	if pp.Docs == 0 {
+		pp.Docs = 8
+	}
+	if pp.DocBytes == 0 {
+		pp.DocBytes = 64 << 10
+	}
+	if pp.Clients == 0 {
+		pp.Clients = 32
+	}
+	if pp.ClientMachines == 0 {
+		pp.ClientMachines = 4
+	}
+	if pp.Tss == 0 {
+		pp.Tss = 64 << 10
+	}
+	if pp.Warmup == 0 {
+		pp.Warmup = 500 * time.Millisecond
+	}
+	if pp.Measure == 0 {
+		pp.Measure = 2 * time.Second
+	}
+
+	eng := sim.New()
+	costs := sim.DefaultCosts()
+
+	// Origin tier.
+	origin := kernel.NewMachine(eng, costs, originMachineConfig(pp.Origin, 0))
+	originLst := netsim.NewListener(origin.Host)
+	srv := httpd.NewServer(httpd.Config{
+		Kind:     pp.Origin.Kind,
+		Machine:  origin,
+		Listener: originLst,
+	})
+	paths := make([]string, pp.Docs)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/doc%d", i)
+		origin.FS.Create(paths[i], pp.DocBytes)
+	}
+
+	// Proxy tier (skipped when Direct). The proxy machine runs the IO-Lite
+	// kernel with the checksum cache for the reference modes; the copying
+	// proxy is a conventional machine.
+	var px *apps.Proxy
+	var proxy *kernel.Machine
+	frontHost := origin.Host
+	frontLst := originLst
+	serveMachine := origin
+	if !pp.Direct {
+		proxy = kernel.NewMachine(eng, costs, kernel.Config{
+			ChecksumCache: pp.Mode.RefMode(),
+		})
+		proxyLst := netsim.NewListener(proxy.Host)
+		originLink := netsim.NewLink(eng, proxy.Host, origin.Host, 100_000_000, 100*time.Microsecond)
+		px = apps.NewProxy(apps.ProxyConfig{
+			Mode:       pp.Mode,
+			Machine:    proxy,
+			Listener:   proxyLst,
+			Origin:     originLst,
+			OriginLink: originLink,
+			OriginRef:  pp.Origin.Kind.Lite(),
+			Tss:        pp.Tss,
+		})
+		frontHost = proxy.Host
+		frontLst = proxyLst
+		serveMachine = proxy
+	}
+
+	// Client tier, dialing whichever machine fronts the topology.
+	refFront := pp.Origin.Kind.Lite()
+	if !pp.Direct {
+		refFront = pp.Mode.RefMode()
+	}
+	end := sim.Time(pp.Warmup + pp.Measure)
+	links := make([]*netsim.Link, pp.ClientMachines)
+	hosts := make([]*netsim.Host, pp.ClientMachines)
+	for i := range links {
+		hosts[i] = netsim.NewHost(eng, costs, fmt.Sprintf("client%d", i), false, nil, nil)
+		links[i] = netsim.NewLink(eng, hosts[i], frontHost, 100_000_000, 100*time.Microsecond)
+	}
+	stats := make([]httpd.ClientStats, pp.Clients)
+	for c := 0; c < pp.Clients; c++ {
+		c := c
+		rng := rand.New(rand.NewSource(pp.Seed + int64(c)*7919))
+		cfg := httpd.ClientConfig{
+			Host:       hosts[c%pp.ClientMachines],
+			Link:       links[c%pp.ClientMachines],
+			Listener:   frontLst,
+			Tss:        pp.Tss,
+			RefServer:  refFront,
+			Persistent: pp.Persistent,
+		}
+		eng.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			httpd.RunClient(p, cfg, func() (string, bool) {
+				if p.Now() >= end {
+					return "", false
+				}
+				return paths[rng.Intn(len(paths))], true
+			}, &stats[c])
+		})
+	}
+
+	// Measurement window bookkeeping.
+	var res ProxyResult
+	if pp.Direct {
+		res.Label = pp.Origin.Label() + " direct"
+	} else {
+		res.Label = pp.Origin.Label() + " " + pp.Mode.String()
+	}
+	var warmBytes, warmReqs, warmAborted int64
+	eng.At(sim.Time(pp.Warmup), func() {
+		if px != nil {
+			var out int64
+			warmReqs, _, _, out, warmAborted = px.Stats()
+			warmBytes = out
+		} else {
+			warmReqs, _, warmBytes, warmAborted = srv.Stats()
+		}
+		costs.ResetMeter()
+		if ck := serveMachine.CkCache; ck != nil {
+			ck.ResetStats()
+		}
+		serveMachine.CPU().ResetStats()
+	})
+	eng.At(end, func() {
+		var reqs, total, aborted int64
+		if px != nil {
+			reqs, _, _, total, aborted = px.Stats()
+			res.HitRate = px.HitRate()
+		} else {
+			reqs, _, total, aborted = srv.Stats()
+		}
+		res.Requests = reqs - warmReqs
+		res.Aborted = aborted - warmAborted
+		res.Mbps = float64(total-warmBytes) * 8 / pp.Measure.Seconds() / 1e6
+		res.CopiedMB = float64(costs.MeterCopiedBytes()) / (1 << 20)
+		if ck := serveMachine.CkCache; ck != nil {
+			res.CksumHitRate = ck.HitRate()
+		}
+		res.ServerCPUUtil = serveMachine.CPU().Utilization()
+	})
+
+	eng.Run()
+	for i := range stats {
+		res.Errors += stats[i].Errors
+	}
+	return res
+}
+
+// proxyKinds is the four-way server comparison of the proxy figure.
+var proxyKinds = []ServerConfig{CfgFlashLite, CfgFlashLiteSplice, CfgFlash, CfgApache}
+
+// FigProxy — the caching reverse-proxy tier: aggregate client bandwidth
+// for each origin server kind served directly and through the three proxy
+// data paths. The notes quantify the per-mode charged copy work and the
+// proxy's checksum-cache hit rate (all requests after the cold pass are
+// cache hits, so the proxy tier's data path dominates).
+func FigProxy(opt Options) *Table {
+	t := &Table{
+		Title:   "Proxy: zero-copy caching reverse proxy vs copying proxy (Mb/s)",
+		XLabel:  "origin server",
+		Columns: []string{"direct", "proxy-copy", "proxy-zc", "proxy-splice"},
+	}
+	warm, meas := 1*time.Second, 3*time.Second
+	if opt.Quick {
+		warm, meas = 500*time.Millisecond, 1500*time.Millisecond
+	}
+	modes := []apps.ProxyMode{apps.ProxyCopy, apps.ProxyZeroCopy, apps.ProxySplice}
+	for _, sc := range proxyKinds {
+		row := Row{Label: sc.Label()}
+		direct := RunProxy(ProxyParams{
+			Origin: sc, Direct: true, Warmup: warm, Measure: meas, Seed: 7,
+		})
+		opt.progress("FigProxy %s: %.1f Mb/s (copied %.1f MB)", direct.Label, direct.Mbps, direct.CopiedMB)
+		row.Values = append(row.Values, direct.Mbps)
+		for _, mode := range modes {
+			r := RunProxy(ProxyParams{
+				Origin: sc, Mode: mode, Warmup: warm, Measure: meas, Seed: 7,
+			})
+			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f)",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate)
+			row.Values = append(row.Values, r.Mbps)
+			if sc.Kind == httpd.FlashLite {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"%s: copied %.1f MB, proxy cksum-cache hit rate %.2f, proxy hit rate %.2f",
+					r.Label, r.CopiedMB, r.CksumHitRate, r.HitRate))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"8 docs x 64KB, 32 clients, 4 machines; proxied runs interpose a caching reverse-proxy machine",
+		"copied MB = bytes of copy work charged anywhere in the topology during measurement")
+	return t
+}

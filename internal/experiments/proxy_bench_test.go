@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iolite/internal/apps"
+)
+
+// Proxy benchmarks: each run reports throughput, the charged copy work,
+// and the cache hit rates as benchmark metrics, so the CI bench job
+// (BENCH_proxy.json) tracks the zero-copy and splice wins numerically.
+//
+//	go test ./internal/experiments -bench=Proxy -benchtime=1x
+
+func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := RunProxy(ProxyParams{
+			Origin:  CfgFlashLite,
+			Mode:    mode,
+			Direct:  direct,
+			Warmup:  300 * time.Millisecond,
+			Measure: time.Second,
+			Seed:    9,
+		})
+		if i == 0 {
+			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f\n",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil)
+			b.ReportMetric(r.Mbps, "Mbps")
+			b.ReportMetric(r.CopiedMB, "copiedMB")
+			b.ReportMetric(r.HitRate*100, "hit_pct")
+			b.ReportMetric(r.CksumHitRate*100, "ckhit_pct")
+			b.ReportMetric(r.ServerCPUUtil*100, "cpu_pct")
+		}
+	}
+}
+
+// BenchmarkProxyDirect — clients straight at the Flash-Lite origin.
+func BenchmarkProxyDirect(b *testing.B) { benchProxy(b, apps.ProxyCopy, true) }
+
+// BenchmarkProxyCopy — the conventional copying proxy baseline.
+func BenchmarkProxyCopy(b *testing.B) { benchProxy(b, apps.ProxyCopy, false) }
+
+// BenchmarkProxyZeroCopy — the IOL_read/IOL_write zero-copy relay.
+func BenchmarkProxyZeroCopy(b *testing.B) { benchProxy(b, apps.ProxyZeroCopy, false) }
+
+// BenchmarkProxySplice — cache hits served by the kernel splice fast path.
+func BenchmarkProxySplice(b *testing.B) { benchProxy(b, apps.ProxySplice, false) }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"iolite/internal/apps"
+)
+
+func quickProxy(mode apps.ProxyMode, direct bool) ProxyResult {
+	return RunProxy(ProxyParams{
+		Origin:  CfgFlashLite,
+		Mode:    mode,
+		Direct:  direct,
+		Warmup:  500 * time.Millisecond,
+		Measure: 1500 * time.Millisecond,
+		Seed:    7,
+	})
+}
+
+// TestProxyChargedCostOrdering is the PR's proxy acceptance check: the
+// zero-copy relay beats the copying proxy on charged cost, and the splice
+// hit path beats both.
+func TestProxyChargedCostOrdering(t *testing.T) {
+	cp := quickProxy(apps.ProxyCopy, false)
+	zc := quickProxy(apps.ProxyZeroCopy, false)
+	sp := quickProxy(apps.ProxySplice, false)
+	for _, r := range []ProxyResult{cp, zc, sp} {
+		if r.Errors != 0 || r.Aborted != 0 {
+			t.Fatalf("%s: errors=%d aborted=%d", r.Label, r.Errors, r.Aborted)
+		}
+		if r.HitRate < 0.9 {
+			t.Fatalf("%s: proxy hit rate %.2f, want ≥ 0.9", r.Label, r.HitRate)
+		}
+	}
+
+	// Copies avoided: the zero-copy relay charges (at most) the request
+	// trickle; the copying proxy charges every response byte at least twice.
+	if zc.CopiedMB*10 >= cp.CopiedMB {
+		t.Errorf("copy work: zero-copy %.2f MB vs copying %.2f MB, want ≥ 10x gap",
+			zc.CopiedMB, cp.CopiedMB)
+	}
+	if sp.CopiedMB > zc.CopiedMB {
+		t.Errorf("splice copied %.2f MB > zero-copy %.2f MB", sp.CopiedMB, zc.CopiedMB)
+	}
+
+	// Charged cost per delivered byte: CPU busy fraction normalized by
+	// throughput. The simulation is deterministic, so strict ordering holds.
+	costPerByte := func(r ProxyResult) float64 { return r.ServerCPUUtil / r.Mbps }
+	if !(costPerByte(cp) > costPerByte(zc)) {
+		t.Errorf("charged cost: copying %.5f ≤ zero-copy %.5f", costPerByte(cp), costPerByte(zc))
+	}
+	if !(costPerByte(zc) > costPerByte(sp)) {
+		t.Errorf("charged cost: zero-copy %.5f ≤ splice %.5f", costPerByte(zc), costPerByte(sp))
+	}
+
+	// Throughput: the copying proxy is CPU-bound below the others.
+	if cp.Mbps >= zc.Mbps || cp.Mbps >= sp.Mbps {
+		t.Errorf("throughput: copy %.0f, zc %.0f, splice %.0f Mb/s — copy should lose",
+			cp.Mbps, zc.Mbps, sp.Mbps)
+	}
+
+	// The reference modes ride the proxy's checksum cache on every re-serve.
+	if zc.CksumHitRate < 0.8 || sp.CksumHitRate < 0.8 {
+		t.Errorf("cksum-cache hit rates: zc %.2f, splice %.2f, want ≥ 0.8",
+			zc.CksumHitRate, sp.CksumHitRate)
+	}
+	if cp.CksumHitRate != 0 {
+		t.Errorf("copying proxy used a checksum cache (hit rate %.2f)", cp.CksumHitRate)
+	}
+}
+
+// TestProxyDirectComparison sanity-checks the direct baseline: the origin
+// alone must also serve correctly, and the splice-origin kind must be no
+// slower than plain Flash-Lite.
+func TestProxyDirectComparison(t *testing.T) {
+	direct := quickProxy(apps.ProxyCopy, true) // mode ignored when Direct
+	if direct.Errors != 0 {
+		t.Fatalf("direct errors=%d", direct.Errors)
+	}
+	if direct.Mbps <= 0 {
+		t.Fatal("direct run served nothing")
+	}
+	spl := RunProxy(ProxyParams{
+		Origin:  CfgFlashLiteSplice,
+		Direct:  true,
+		Warmup:  500 * time.Millisecond,
+		Measure: 1500 * time.Millisecond,
+		Seed:    7,
+	})
+	if spl.Errors != 0 {
+		t.Fatalf("splice-origin errors=%d", spl.Errors)
+	}
+	if spl.Mbps < direct.Mbps*0.98 {
+		t.Errorf("FL-splice direct %.0f Mb/s below Flash-Lite %.0f", spl.Mbps, direct.Mbps)
+	}
+}

@@ -33,7 +33,7 @@ type ServerConfig struct {
 // Label renders the configuration name as the paper writes it.
 func (sc ServerConfig) Label() string {
 	l := sc.Kind.String()
-	if sc.Kind == httpd.FlashLite {
+	if sc.Kind.Lite() {
 		if sc.Policy == "LRU" {
 			l += " LRU"
 		}
@@ -46,9 +46,10 @@ func (sc ServerConfig) Label() string {
 
 // Standard configurations.
 var (
-	CfgFlashLite = ServerConfig{Kind: httpd.FlashLite}
-	CfgFlash     = ServerConfig{Kind: httpd.Flash}
-	CfgApache    = ServerConfig{Kind: httpd.Apache}
+	CfgFlashLite       = ServerConfig{Kind: httpd.FlashLite}
+	CfgFlashLiteSplice = ServerConfig{Kind: httpd.FlashLiteSplice}
+	CfgFlash           = ServerConfig{Kind: httpd.Flash}
+	CfgApache          = ServerConfig{Kind: httpd.Apache}
 )
 
 // WebParams describes one experiment run.
@@ -121,7 +122,7 @@ func RunWeb(wp WebParams) WebResult {
 	eng := sim.New()
 	costs := sim.DefaultCosts()
 
-	isLite := wp.Server.Kind == httpd.FlashLite
+	isLite := wp.Server.Kind.Lite()
 	kcfg := kernel.Config{MemBytes: wp.MemBytes}
 	if isLite {
 		if wp.Server.Policy == "LRU" {
@@ -205,7 +206,7 @@ func RunWeb(wp WebParams) WebResult {
 	// Snapshot server counters at the warmup boundary and at the end.
 	var warmBytes, warmReqs int64
 	eng.At(sim.Time(wp.Warmup), func() {
-		warmReqs, _, warmBytes = srv.Stats()
+		warmReqs, _, warmBytes, _ = srv.Stats()
 		m.CPU().ResetStats()
 		m.Disk.ResetStats()
 		m.FileCache.ResetStats()
@@ -213,7 +214,7 @@ func RunWeb(wp WebParams) WebResult {
 	var res WebResult
 	res.Label = wp.Server.Label()
 	eng.At(end, func() {
-		reqs, _, total := srv.Stats()
+		reqs, _, total, _ := srv.Stats()
 		res.Requests = reqs - warmReqs
 		res.Mbps = float64(total-warmBytes) * 8 / wp.Measure.Seconds() / 1e6
 		res.CPUUtil = m.CPU().Utilization()

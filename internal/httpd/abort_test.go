@@ -1,0 +1,104 @@
+package httpd
+
+import (
+	"bytes"
+	"testing"
+
+	"iolite/internal/kernel"
+	"iolite/internal/netsim"
+	"iolite/internal/sim"
+)
+
+// TestAbortedResponseCounted drives handleConn over a connection whose
+// server-side endpoint is already closing, so the first response write hits
+// the simulated EPIPE: the server must stop sending, count the response as
+// aborted, and leave the byte counters untouched.
+func TestAbortedResponseCounted(t *testing.T) {
+	for _, kind := range []Kind{FlashLite, FlashLiteSplice, Flash, Apache} {
+		t.Run(kind.String(), func(t *testing.T) {
+			b := newBed(kind, false)
+			b.m.FS.Create("/doc", 20000)
+
+			// A side listener the server's accept loop doesn't watch, so the
+			// test controls the connection end to end.
+			lst2 := netsim.NewListener(b.m.Host)
+			lfd2 := b.m.Listen(b.srv.proc, lst2)
+
+			b.eng.Go("cli", func(p *sim.Proc) {
+				conn := netsim.Dial(p, b.client, b.link, lst2, netsim.ConnOpts{
+					Tss:           64 << 10,
+					ServerRefMode: kind.Lite(),
+				})
+				ep := conn.ClientEnd()
+				ep.Send(p, netsim.Payload{Data: FormatRequest("/doc", true)}, nil)
+				for {
+					d, alive := ep.Recv(p)
+					if !alive {
+						break
+					}
+					d.Release()
+				}
+				ep.Close(p)
+			})
+			b.eng.Go("srv", func(p *sim.Proc) {
+				cfd, err := b.m.Accept(p, b.srv.proc, lfd2)
+				if err != nil {
+					t.Errorf("Accept: %v", err)
+					return
+				}
+				d, _ := b.srv.proc.Desc(cfd)
+				ep, _ := kernel.EndpointOf(d)
+				ep.Close(p) // the client is gone: further sends are EPIPE
+				b.srv.handleConn(p, cfd)
+			})
+			b.eng.Run()
+
+			reqs, body, total, aborted := b.srv.Stats()
+			if reqs != 1 || aborted != 1 {
+				t.Fatalf("requests=%d aborted=%d, want 1/1", reqs, aborted)
+			}
+			if body != 0 || total != 0 {
+				t.Fatalf("aborted response still counted bytes: body=%d total=%d", body, total)
+			}
+		})
+	}
+}
+
+// TestSpliceServerFallsBackForConventionalClient: a client endpoint without
+// the reference-mode send path can't be spliced to; the FL-splice server
+// must fall back to the IOL_read+IOL_write pair and still deliver the
+// document, not abort the response.
+func TestSpliceServerFallsBackForConventionalClient(t *testing.T) {
+	b := newBed(FlashLiteSplice, false)
+	f := b.m.FS.Create("/doc", 37123)
+	want := b.m.FS.Expected(f, 0, f.Size())
+
+	var got []byte
+	b.eng.Go("client", func(p *sim.Proc) {
+		cfg := b.clientCfg(false, func(_ string, body []byte) {
+			got = append([]byte(nil), body...)
+		})
+		cfg.RefServer = false // conventional endpoint: splice sink refuses
+		sent := false
+		var st ClientStats
+		RunClient(p, cfg, func() (string, bool) {
+			if sent {
+				return "", false
+			}
+			sent = true
+			return "/doc", true
+		}, &st)
+		if st.Errors != 0 {
+			t.Errorf("client errors: %d", st.Errors)
+		}
+	})
+	b.eng.Run()
+
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fallback served wrong bytes (%d vs %d)", len(got), len(want))
+	}
+	reqs, body, _, aborted := b.srv.Stats()
+	if reqs != 1 || aborted != 0 || body != f.Size() {
+		t.Fatalf("stats after fallback: reqs=%d body=%d aborted=%d", reqs, body, aborted)
+	}
+}

@@ -47,7 +47,7 @@ type cgiWorker struct {
 func newCGIPool(s *Server, n int) *cgiPool {
 	pool := &cgiPool{s: s}
 	respMode := ipcsim.ModeCopy
-	if s.cfg.Kind == FlashLite {
+	if s.cfg.Kind.Lite() {
 		respMode = ipcsim.ModeRef
 	}
 	for i := 0; i < n; i++ {
@@ -129,7 +129,7 @@ func (w *cgiWorker) run(p *sim.Proc) {
 		}
 		m.Host.Use(p, cgiRequestWork)
 
-		if w.s.cfg.Kind == FlashLite {
+		if w.s.cfg.Kind.Lite() {
 			// The caching IO-Lite CGI program: the document lives in the
 			// worker's own buffer pool (its ACL isolates it until the pipe
 			// transfer grants the server access, §3.10); repeat requests
@@ -159,28 +159,32 @@ func (w *cgiWorker) run(p *sim.Proc) {
 }
 
 // serveCGI forwards the request to a worker and relays its document to the
-// client on connection descriptor cfd.
-func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) {
+// client on connection descriptor cfd. It reports false when the response
+// could not be fully delivered (worker or client write error).
+func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
 	w := s.cgi.acquire(p)
 	defer s.cgi.release(w)
 
 	s.m.WritePOSIX(p, s.proc, w.reqW, []byte(path+"\n"))
 
-	if s.cfg.Kind == FlashLite {
+	if s.cfg.Kind.Lite() {
 		// kernel.MaxIO: take the worker's whole queued aggregate.
 		body, err := s.m.IOLRead(p, s.proc, w.respR, kernel.MaxIO)
 		if err != nil {
-			return
+			return false
 		}
 		hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(body.Len()))
 		resp := core.PackBytes(p, s.proc.Pool, hdr)
 		resp.Concat(body)
 		n := int64(body.Len())
 		body.Release()
-		s.m.IOLWrite(p, s.proc, cfd, resp)
+		if err := s.m.IOLWrite(p, s.proc, cfd, resp); err != nil {
+			resp.Release()
+			return false
+		}
 		s.bytesBody += n
 		s.bytesTotal += n + int64(len(hdr))
-		return
+		return true
 	}
 
 	// Baseline: read the length line, then stream the document.
@@ -189,7 +193,7 @@ func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) {
 	for !strings.Contains(string(head), "\n") {
 		n, err := s.m.ReadPOSIX(p, s.proc, w.respR, tmp)
 		if err != nil {
-			return
+			return false
 		}
 		head = append(head, tmp[:n]...)
 	}
@@ -204,8 +208,13 @@ func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) {
 		body = append(body, tmp[:n]...)
 	}
 	hdr := FormatResponseHeader(s.cfg.Kind.String(), size)
-	s.m.WritePOSIX(p, s.proc, cfd, hdr)
-	s.m.WritePOSIX(p, s.proc, cfd, body)
+	if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
+		return false
+	}
+	if _, err := s.m.WritePOSIX(p, s.proc, cfd, body); err != nil {
+		return false
+	}
 	s.bytesBody += size
 	s.bytesTotal += size + int64(len(hdr))
+	return true
 }

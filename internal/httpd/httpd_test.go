@@ -26,7 +26,7 @@ func newBed(kind Kind, cgi bool) *bed {
 	eng := sim.New()
 	costs := sim.DefaultCosts()
 	var cfg kernel.Config
-	if kind == FlashLite {
+	if kind.Lite() {
 		cfg = kernel.Config{Policy: cache.NewGDS(), ChecksumCache: true}
 	}
 	m := kernel.NewMachine(eng, costs, cfg)
@@ -44,7 +44,7 @@ func (b *bed) clientCfg(persistent bool, onResp func(string, []byte)) ClientConf
 		Link:       b.link,
 		Listener:   b.lst,
 		Tss:        64 << 10,
-		RefServer:  b.srv.cfg.Kind == FlashLite,
+		RefServer:  b.srv.cfg.Kind.Lite(),
 		Persistent: persistent,
 		OnResponse: onResp,
 	}
@@ -81,7 +81,7 @@ func (b *bed) fetchOnce(t *testing.T, path string) []byte {
 }
 
 func TestStaticServingAllKinds(t *testing.T) {
-	for _, kind := range []Kind{FlashLite, Flash, Apache} {
+	for _, kind := range []Kind{FlashLite, FlashLiteSplice, Flash, Apache} {
 		t.Run(kind.String(), func(t *testing.T) {
 			b := newBed(kind, false)
 			f := b.m.FS.Create("/doc.html", 37123) // unaligned size
@@ -95,7 +95,7 @@ func TestStaticServingAllKinds(t *testing.T) {
 }
 
 func TestCGIServingAllKinds(t *testing.T) {
-	for _, kind := range []Kind{FlashLite, Flash, Apache} {
+	for _, kind := range []Kind{FlashLite, FlashLiteSplice, Flash, Apache} {
 		t.Run(kind.String(), func(t *testing.T) {
 			b := newBed(kind, true)
 			want := cgiDoc(20000)
@@ -257,12 +257,12 @@ func TestServerStatsAccumulate(t *testing.T) {
 		}, &st)
 	})
 	b.eng.Run()
-	reqs, body, total := b.srv.Stats()
+	reqs, body, total, _ := b.srv.Stats()
 	if reqs != 4 || body != 40000 || total <= body {
 		t.Fatalf("stats: reqs=%d body=%d total=%d", reqs, body, total)
 	}
 	b.srv.ResetStats()
-	reqs, _, _ = b.srv.Stats()
+	reqs, _, _, _ = b.srv.Stats()
 	if reqs != 0 {
 		t.Fatal("ResetStats did not clear")
 	}

@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"errors"
 	"time"
 
 	"iolite/internal/core"
@@ -14,7 +15,7 @@ import (
 // Kind selects the server implementation.
 type Kind int
 
-// The three measured servers (§5).
+// The three measured servers (§5), plus the splice variant of Flash-Lite.
 const (
 	// FlashLite is Flash ported to the IO-Lite API: IOL_read from the
 	// unified cache, header concatenation by aggregate, IOL_write to the
@@ -27,6 +28,11 @@ const (
 	// Apache models a process-per-connection server: Flash's data path
 	// plus per-request process overheads and per-connection memory.
 	Apache
+	// FlashLiteSplice is Flash-Lite with the sendfile-style static path:
+	// the header goes out by IOL_write, then Machine.SpliceAt moves the
+	// document from the cached file descriptor to the socket in one
+	// syscall — no user-space aggregate handling at all.
+	FlashLiteSplice
 )
 
 // String names the kind as in the paper's figures.
@@ -38,9 +44,15 @@ func (k Kind) String() string {
 		return "Flash"
 	case Apache:
 		return "Apache"
+	case FlashLiteSplice:
+		return "FL-splice"
 	}
 	return "unknown"
 }
+
+// Lite reports whether the kind runs on the IO-Lite API (reference-mode
+// sends, checksum caching, ref pipes to CGI workers).
+func (k Kind) Lite() bool { return k == FlashLite || k == FlashLiteSplice }
 
 // Per-request server overheads beyond syscalls and data work. Flash's
 // event-driven request handling is lean; Apache's process-per-connection
@@ -92,6 +104,7 @@ type Server struct {
 	requests   int64
 	bytesBody  int64
 	bytesTotal int64
+	aborted    int64
 }
 
 // NewServer creates and starts a server on cfg.Listener.
@@ -125,14 +138,16 @@ func (s *Server) PrimeOpen(path string, f *fsim.File) {
 	s.openFDs[path] = openEntry{f: f, fd: fd}
 }
 
-// Stats reports requests served and body/total bytes sent.
-func (s *Server) Stats() (requests, bodyBytes, totalBytes int64) {
-	return s.requests, s.bytesBody, s.bytesTotal
+// Stats reports requests served, body/total bytes sent, and responses
+// aborted by a write error (client gone mid-response): aborted responses
+// count toward requests but not toward the byte totals.
+func (s *Server) Stats() (requests, bodyBytes, totalBytes, aborted int64) {
+	return s.requests, s.bytesBody, s.bytesTotal, s.aborted
 }
 
 // ResetStats zeroes the counters (used when an experiment discards warmup).
 func (s *Server) ResetStats() {
-	s.requests, s.bytesBody, s.bytesTotal = 0, 0, 0
+	s.requests, s.bytesBody, s.bytesTotal, s.aborted = 0, 0, 0, 0
 }
 
 func (s *Server) acceptLoop(p *sim.Proc) {
@@ -177,7 +192,7 @@ func (s *Server) handleConn(p *sim.Proc, cfd int) {
 				pending = nil
 				break
 			}
-			if s.cfg.Kind == FlashLite {
+			if s.cfg.Kind.Lite() {
 				// IOL_read on the socket: request bytes arrive in IO-Lite
 				// buffers placed by early demultiplexing, no copy.
 				a, err := s.m.IOLRead(p, s.proc, cfd, recvChunk)
@@ -202,12 +217,20 @@ func (s *Server) handleConn(p *sim.Proc, cfd int) {
 
 		s.m.Host.Use(p, s.requestWork())
 
+		var served bool
 		if s.cfg.CGI {
-			s.serveCGI(p, cfd, path)
+			served = s.serveCGI(p, cfd, path)
 		} else {
-			s.serveStatic(p, cfd, path)
+			served = s.serveStatic(p, cfd, path)
 		}
 		s.requests++
+		if !served {
+			// The response aborted on a write error: the connection is
+			// useless, drop it.
+			s.aborted++
+			s.m.Close(p, s.proc, cfd)
+			return
+		}
 
 		if !keepalive {
 			s.m.Close(p, s.proc, cfd)
@@ -240,12 +263,14 @@ func (s *Server) openCached(p *sim.Proc, path string) (openEntry, bool) {
 	return e, true
 }
 
-// serveStatic sends a file down connection descriptor cfd.
-func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) {
+// serveStatic sends a file down connection descriptor cfd. It stops at the
+// first write error (the simulated EPIPE of a departed client) and reports
+// false; the byte counters only advance for fully delivered responses.
+func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
 	e, ok := s.openCached(p, path)
 	if !ok {
-		s.m.WritePOSIX(p, s.proc, cfd, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
-		return
+		_, err := s.m.WritePOSIX(p, s.proc, cfd, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
+		return err == nil
 	}
 	f := e.f
 	hdr := FormatResponseHeader(s.cfg.Kind.String(), f.Size())
@@ -264,19 +289,54 @@ func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) {
 		resp := core.PackBytes(p, s.proc.Pool, hdr)
 		resp.Concat(body)
 		body.Release()
-		s.m.IOLWrite(p, s.proc, cfd, resp)
+		if err := s.m.IOLWrite(p, s.proc, cfd, resp); err != nil {
+			resp.Release() // on error the caller still owns the aggregate
+			return false
+		}
+	case FlashLiteSplice:
+		// The sendfile shape: one IOL_write for the header, one splice for
+		// the whole document. The document's sealed cache buffers go from
+		// the file cache to the wire without ever being mapped into the
+		// server — and their checksums stay cached across requests.
+		resp := core.PackBytes(p, s.proc.Pool, hdr)
+		if err := s.m.IOLWrite(p, s.proc, cfd, resp); err != nil {
+			resp.Release()
+			return false
+		}
+		if _, err := s.m.SpliceAt(p, s.proc, cfd, e.fd, 0, f.Size()); err != nil {
+			if !errors.Is(err, kernel.ErrNotSupported) {
+				return false
+			}
+			// The connection can't splice (a conventional client endpoint):
+			// fall back to the IOL_read + IOL_write pair the splice
+			// shortcuts.
+			body, rerr := s.m.IOLReadAt(p, s.proc, e.fd, 0, f.Size())
+			if rerr != nil {
+				body = core.NewAgg()
+			}
+			if err := s.m.IOLWrite(p, s.proc, cfd, body); err != nil {
+				body.Release()
+				return false
+			}
+		}
 	case Flash:
 		// mmap avoids the read-side copy; the send still copies into
 		// socket buffers and checksums every byte.
 		mp := s.m.Mmap(p, s.proc, f)
-		s.m.WritePOSIX(p, s.proc, cfd, hdr)
-		s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(0, f.Size()))
+		if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
+			return false
+		}
+		if _, err := s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(0, f.Size())); err != nil {
+			return false
+		}
 	case Apache:
 		// Apache 1.3 walks the mmap'd file in 8 KB hunks, one write(2) per
 		// hunk, after its buffered-output (BUFF) layer has staged the data
 		// in a user buffer — one more copy than Flash's direct writev.
 		mp := s.m.Mmap(p, s.proc, f)
-		s.m.WritePOSIX(p, s.proc, cfd, hdr)
+		if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
+			return false
+		}
 		const hunk = 8 << 10
 		for off := int64(0); off < f.Size(); off += hunk {
 			n := f.Size() - off
@@ -284,9 +344,12 @@ func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) {
 				n = hunk
 			}
 			s.m.Host.Use(p, s.m.Costs.Copy(int(n))) // BUFF staging copy
-			s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(off, n))
+			if _, err := s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(off, n)); err != nil {
+				return false
+			}
 		}
 	}
 	s.bytesBody += f.Size()
 	s.bytesTotal += f.Size() + int64(len(hdr))
+	return true
 }

@@ -173,14 +173,23 @@ func (pp *Pipe) Read(p *sim.Proc, dst []byte) int {
 // read grant for the reader's domain. Ownership of agg transfers to the
 // pipe. Panics on a copy-mode pipe.
 func (pp *Pipe) WriteAgg(p *sim.Proc, agg *core.Agg) {
+	pp.use(p, pp.costs.Syscall)
+	pp.PutAgg(p, agg)
+}
+
+// PutAgg is WriteAgg without the syscall entry charge — the kernel-internal
+// enqueue the splice path uses (the splice syscall was already charged). It
+// reports false when the reader is gone and the aggregate was discarded
+// (the caller's EPIPE).
+func (pp *Pipe) PutAgg(p *sim.Proc, agg *core.Agg) bool {
 	if pp.mode != ModeRef {
-		panic("ipcsim: WriteAgg on copy-mode pipe; use Write")
+		panic("ipcsim: PutAgg on copy-mode pipe; use Write")
 	}
 	if pp.wClosed {
 		panic("ipcsim: write on closed pipe")
 	}
 	n := agg.Len()
-	pp.use(p, pp.costs.Syscall+sim.Duration(agg.NumSlices())*pp.costs.AggOp)
+	pp.use(p, sim.Duration(agg.NumSlices())*pp.costs.AggOp)
 	for pp.bytes > 0 && pp.bytes+n > pp.cap {
 		if pp.rClosed {
 			break
@@ -189,22 +198,29 @@ func (pp *Pipe) WriteAgg(p *sim.Proc, agg *core.Agg) {
 	}
 	if pp.rClosed {
 		agg.Release()
-		return
+		return false
 	}
 	core.Transfer(p, agg, pp.readerDomain)
 	pp.aggs = append(pp.aggs, agg)
 	pp.bytes += n
 	pp.bytesMoved += int64(n)
 	pp.readers.Wake(-1)
+	return true
 }
 
 // ReadAgg receives the next aggregate from a ref-mode pipe (nil at EOF).
 // The caller owns the returned aggregate.
 func (pp *Pipe) ReadAgg(p *sim.Proc) *core.Agg {
-	if pp.mode != ModeRef {
-		panic("ipcsim: ReadAgg on copy-mode pipe; use Read")
-	}
 	pp.use(p, pp.costs.Syscall)
+	return pp.TakeAgg(p)
+}
+
+// TakeAgg is ReadAgg without the syscall entry charge (the kernel-internal
+// dequeue used by the splice path).
+func (pp *Pipe) TakeAgg(p *sim.Proc) *core.Agg {
+	if pp.mode != ModeRef {
+		panic("ipcsim: TakeAgg on copy-mode pipe; use Read")
+	}
 	for len(pp.aggs) == 0 {
 		if pp.wClosed {
 			return nil

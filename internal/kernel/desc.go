@@ -49,6 +49,9 @@ const (
 	KindPipe
 	KindSocket
 	KindListener
+	// KindObject is a sealed in-kernel buffer aggregate behind an fd
+	// (NewAggDesc) — a memfd-style object servers splice from.
+	KindObject
 )
 
 func (k DescKind) String() string {
@@ -61,6 +64,8 @@ func (k DescKind) String() string {
 		return "socket"
 	case KindListener:
 		return "listener"
+	case KindObject:
+		return "object"
 	}
 	return "unknown"
 }
@@ -209,6 +214,7 @@ func (m *Machine) Listen(pr *Process, lst *netsim.Listener) int {
 // a socket descriptor for its server-side endpoint. ErrClosed after the
 // listener closes.
 func (m *Machine) Accept(p *sim.Proc, pr *Process, lfd int) (int, error) {
+	m.syscall(p)
 	d, err := pr.Desc(lfd)
 	if err != nil {
 		return -1, err
@@ -269,8 +275,10 @@ func (m *Machine) Close(p *sim.Proc, pr *Process, fd int) error {
 }
 
 // Seek sets a file descriptor's offset à la lseek(2). ErrNotSupported on
-// stream descriptors (pipes, sockets).
-func (m *Machine) Seek(pr *Process, fd int, off int64, whence int) (int64, error) {
+// stream descriptors (pipes, sockets). Like every Machine entry point it
+// charges its syscall on success and error alike.
+func (m *Machine) Seek(p *sim.Proc, pr *Process, fd int, off int64, whence int) (int64, error) {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
 		return 0, err
@@ -301,7 +309,8 @@ type PReader interface {
 
 // IOLReadAt is IOL_read at an explicit offset (pread(2)): it does not
 // read or move the descriptor's cursor, so one open descriptor can serve
-// concurrent readers. ErrNotSupported on stream descriptors.
+// concurrent readers. ErrNotSupported on stream descriptors. The syscall
+// that was made is charged on every path, success or error.
 func (m *Machine) IOLReadAt(p *sim.Proc, pr *Process, fd int, off, n int64) (*core.Agg, error) {
 	d, err := pr.Desc(fd)
 	if err != nil {
@@ -310,6 +319,7 @@ func (m *Machine) IOLReadAt(p *sim.Proc, pr *Process, fd int, off, n int64) (*co
 	}
 	pd, ok := d.(PReader)
 	if !ok {
+		m.syscall(p)
 		return nil, ErrNotSupported
 	}
 	return pd.ReadAggAt(p, pr, off, n)

@@ -57,6 +57,29 @@ func (d *fileDesc) ReadAggAt(p *sim.Proc, pr *Process, off, n int64) (*core.Agg,
 	return d.m.IOLReadFile(p, pr, d.f, off, n), nil
 }
 
+// SpliceOut is the cursor-advancing splice source: the extent comes out of
+// the unified cache (or the private pool) as sealed kernel-resident buffers
+// — no user grant, no per-slice boundary validation, no copy.
+func (d *fileDesc) SpliceOut(p *sim.Proc, n int64) (*core.Agg, error) {
+	a, err := d.SpliceOutAt(p, d.off, n)
+	if err != nil {
+		return nil, err
+	}
+	d.off += int64(a.Len())
+	return a, nil
+}
+
+// SpliceOutAt is the positional splice source (the sendfile(2) shape).
+func (d *fileDesc) SpliceOutAt(p *sim.Proc, off, n int64) (*core.Agg, error) {
+	if off >= d.f.Size() {
+		return nil, io.EOF
+	}
+	if d.pool != nil {
+		return d.m.readPool(p, d.pool, d.f, off, n), nil
+	}
+	return d.m.readCached(p, d.f, off, n), nil
+}
+
 func (d *fileDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 	n := int64(a.Len())
 	d.m.IOLWriteFile(p, pr, d.f, d.off, a)

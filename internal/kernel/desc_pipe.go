@@ -67,6 +67,7 @@ func (d *pipeDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
 
 func (d *pipeDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
 	if d.write {
+		d.m.syscall(p)
 		return nil, ErrNotSupported
 	}
 	a := d.takeAgg(p, pr)
@@ -76,11 +77,52 @@ func (d *pipeDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error)
 	return splitPending(a, n, &d.pending), nil
 }
 
-func (d *pipeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
-	if !d.write {
+// SpliceOut hands over queued aggregates of a reference-mode pipe without
+// mapping them into the process (socket→pipe→socket chains stay in-kernel).
+// Copy-mode pipes have no sealed buffers to pass: ErrNotSupported.
+func (d *pipeDesc) SpliceOut(p *sim.Proc, n int64) (*core.Agg, error) {
+	if d.write || d.pp.Mode() != ipcsim.ModeRef {
+		return nil, ErrNotSupported
+	}
+	a := d.pending
+	d.pending = nil
+	if a == nil {
+		if a = d.pp.TakeAgg(p); a == nil {
+			return nil, io.EOF
+		}
+	}
+	return splitPending(a, n, &d.pending), nil
+}
+
+// spliceInSupported gates the sink capability: only the write end of a
+// reference-mode pipe can enqueue sealed aggregates.
+func (d *pipeDesc) spliceInSupported() bool {
+	return d.write && d.pp.Mode() == ipcsim.ModeRef
+}
+
+// SpliceIn enqueues a kernel-resident sealed aggregate on a reference-mode
+// pipe; a departed reader is the splice caller's EPIPE (ErrClosed).
+func (d *pipeDesc) SpliceIn(p *sim.Proc, a *core.Agg) error {
+	if !d.write || d.pp.Mode() != ipcsim.ModeRef {
 		return ErrNotSupported
 	}
 	if d.pp.WriteClosed() || d.pp.ReadClosed() {
+		return ErrClosed
+	}
+	if !d.pp.PutAgg(p, a.Clone()) {
+		return ErrClosed
+	}
+	a.Release()
+	return nil
+}
+
+func (d *pipeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
+	if !d.write {
+		d.m.syscall(p)
+		return ErrNotSupported
+	}
+	if d.pp.WriteClosed() || d.pp.ReadClosed() {
+		d.m.syscall(p)
 		return ErrClosed
 	}
 	if d.pp.Mode() == ipcsim.ModeRef {
@@ -96,6 +138,7 @@ func (d *pipeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 
 func (d *pipeDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 	if d.write {
+		d.m.syscall(p)
 		return 0, ErrNotSupported
 	}
 	if d.pp.Mode() == ipcsim.ModeCopy && d.pending == nil {
@@ -116,9 +159,11 @@ func (d *pipeDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 
 func (d *pipeDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
 	if !d.write {
+		d.m.syscall(p)
 		return 0, ErrNotSupported
 	}
 	if d.pp.WriteClosed() || d.pp.ReadClosed() {
+		d.m.syscall(p)
 		return 0, ErrClosed
 	}
 	if d.pp.Mode() == ipcsim.ModeCopy {

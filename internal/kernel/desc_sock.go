@@ -48,6 +48,18 @@ func EndpointOf(d Desc) (*netsim.Endpoint, bool) {
 // deliveries (conventional peers) arrive as received bytes and are wrapped
 // uncharged: early demux already placed them where the process can read.
 func (d *sockDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
+	a := d.takeKernel(p, pr.Pool)
+	if a != nil {
+		core.Transfer(p, a, pr.Domain)
+	}
+	return a
+}
+
+// takeKernel dequeues the next delivery without granting any user domain —
+// the kernel-resident form the splice path forwards directly. Copy-mode
+// deliveries are wrapped from pool (socket-buffer memory the wire already
+// paid for); nil reports end of stream.
+func (d *sockDesc) takeKernel(p *sim.Proc, pool *core.Pool) *core.Agg {
 	if d.pending != nil {
 		a := d.pending
 		d.pending = nil
@@ -58,10 +70,40 @@ func (d *sockDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
 		return nil
 	}
 	if a := dv.Agg; a != nil {
-		core.Transfer(p, a, pr.Domain)
 		return a
 	}
-	return core.PackBytes(nil, pr.Pool, dv.Data)
+	return core.PackBytes(nil, pool, dv.Data)
+}
+
+// SpliceOut dequeues received data as sealed kernel-resident buffers: a
+// socket can feed a splice (socket→socket relay, socket→pipe) without the
+// data ever being mapped into the process.
+func (d *sockDesc) SpliceOut(p *sim.Proc, n int64) (*core.Agg, error) {
+	a := d.takeKernel(p, d.m.FilePool)
+	if a == nil {
+		return nil, io.EOF
+	}
+	return splitPending(a, n, &d.pending), nil
+}
+
+// spliceInSupported gates the sink capability on the endpoint's send path:
+// a conventional socket's send buffer requires a private copy, so only
+// reference-mode endpoints splice.
+func (d *sockDesc) spliceInSupported() bool { return d.ep.RefMode() }
+
+// SpliceIn sends a kernel-resident sealed aggregate by reference. Only
+// reference-mode endpoints accept it: a conventional socket's send buffer
+// requires a private copy, so the splice layer reports ErrNotSupported and
+// the caller falls back to the copying write path.
+func (d *sockDesc) SpliceIn(p *sim.Proc, a *core.Agg) error {
+	if !d.ep.RefMode() {
+		return ErrNotSupported
+	}
+	if d.ep.Closing() {
+		return ErrClosed
+	}
+	d.ep.Send(p, netsim.Payload{Agg: a}, nil)
+	return nil
 }
 
 func (d *sockDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
@@ -74,10 +116,10 @@ func (d *sockDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error)
 }
 
 func (d *sockDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
+	d.m.syscall(p)
 	if d.ep.Closing() {
 		return ErrClosed
 	}
-	d.m.syscall(p)
 	core.CheckReadable(a, pr.Domain)
 	d.m.Host.Use(p, sim.Duration(a.NumSlices())*d.m.Costs.AggOp)
 	core.Transfer(p, a, d.m.KernelDomain)
@@ -95,10 +137,10 @@ func (d *sockDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 }
 
 func (d *sockDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
+	d.m.syscall(p)
 	if d.ep.Closing() {
 		return 0, ErrClosed
 	}
-	d.m.syscall(p)
 	d.m.Host.Use(p, d.m.Costs.Copy(len(src)))
 	d.ep.Send(p, netsim.Payload{Data: src}, nil)
 	return len(src), nil
@@ -126,14 +168,20 @@ func (d *listenDesc) Kind() DescKind { return KindListener }
 func (d *listenDesc) RefMode() bool  { return false }
 func (d *listenDesc) Seekable() bool { return false }
 
-func (d *listenDesc) ReadAgg(*sim.Proc, *Process, int64) (*core.Agg, error) {
+func (d *listenDesc) ReadAgg(p *sim.Proc, _ *Process, _ int64) (*core.Agg, error) {
+	d.m.syscall(p)
 	return nil, ErrNotSupported
 }
-func (d *listenDesc) WriteAgg(*sim.Proc, *Process, *core.Agg) error { return ErrNotSupported }
-func (d *listenDesc) ReadCopy(*sim.Proc, *Process, []byte) (int, error) {
+func (d *listenDesc) WriteAgg(p *sim.Proc, _ *Process, _ *core.Agg) error {
+	d.m.syscall(p)
+	return ErrNotSupported
+}
+func (d *listenDesc) ReadCopy(p *sim.Proc, _ *Process, _ []byte) (int, error) {
+	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
-func (d *listenDesc) WriteCopy(*sim.Proc, *Process, []byte) (int, error) {
+func (d *listenDesc) WriteCopy(p *sim.Proc, _ *Process, _ []byte) (int, error) {
+	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
 func (d *listenDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }

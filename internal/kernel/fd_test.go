@@ -39,7 +39,7 @@ func TestBadFDErrors(t *testing.T) {
 		if _, err := m.Dup(p, pr, 0); !errors.Is(err, ErrBadFD) {
 			t.Errorf("Dup bad fd: %v", err)
 		}
-		if _, err := m.Seek(pr, 0, 0, io.SeekStart); !errors.Is(err, ErrBadFD) {
+		if _, err := m.Seek(p, pr, 0, 0, io.SeekStart); !errors.Is(err, ErrBadFD) {
 			t.Errorf("Seek bad fd: %v", err)
 		}
 		if _, err := m.Open(p, pr, "/missing"); !errors.Is(err, ErrNotExist) {
@@ -75,7 +75,7 @@ func TestFileFDSequentialReadAndSeek(t *testing.T) {
 			t.Fatal("sequential FD reads returned wrong bytes")
 		}
 		// Rewind and POSIX-read the same content.
-		if _, err := m.Seek(pr, fd, 0, io.SeekStart); err != nil {
+		if _, err := m.Seek(p, pr, fd, 0, io.SeekStart); err != nil {
 			t.Fatalf("Seek: %v", err)
 		}
 		buf := make([]byte, f.Size())
@@ -90,10 +90,10 @@ func TestFileFDSequentialReadAndSeek(t *testing.T) {
 			t.Fatalf("read at EOF: %v, want io.EOF", err)
 		}
 		// SeekEnd and SeekCurrent arithmetic.
-		if off, err := m.Seek(pr, fd, -1024, io.SeekEnd); err != nil || off != f.Size()-1024 {
+		if off, err := m.Seek(p, pr, fd, -1024, io.SeekEnd); err != nil || off != f.Size()-1024 {
 			t.Fatalf("SeekEnd: off=%d err=%v", off, err)
 		}
-		if off, err := m.Seek(pr, fd, 24, io.SeekCurrent); err != nil || off != f.Size()-1000 {
+		if off, err := m.Seek(p, pr, fd, 24, io.SeekCurrent); err != nil || off != f.Size()-1000 {
 			t.Fatalf("SeekCurrent: off=%d err=%v", off, err)
 		}
 		m.Close(p, pr, fd)
@@ -137,7 +137,7 @@ func TestDupSharesEntryAndRefcounts(t *testing.T) {
 		if _, err := m.ReadPOSIX(p, pr, fd, buf); err != nil {
 			t.Fatalf("read via original: %v", err)
 		}
-		if off, _ := m.Seek(pr, dup, 0, io.SeekCurrent); off != 4096 {
+		if off, _ := m.Seek(p, pr, dup, 0, io.SeekCurrent); off != 4096 {
 			t.Fatalf("offset through dup = %d, want 4096", off)
 		}
 		// Closing the original keeps the entry alive for the dup.
@@ -266,7 +266,7 @@ func TestFileFDPositionalRead(t *testing.T) {
 			t.Fatal("positional read returned wrong bytes")
 		}
 		a.Release()
-		if off, _ := m.Seek(pr, fd, 0, io.SeekCurrent); off != 0 {
+		if off, _ := m.Seek(p, pr, fd, 0, io.SeekCurrent); off != 0 {
 			t.Fatalf("IOLReadAt moved the cursor to %d", off)
 		}
 		if _, err := m.IOLReadAt(p, pr, fd, f.Size(), 1); err != io.EOF {
@@ -498,7 +498,7 @@ func TestDescCapabilityQueries(t *testing.T) {
 		if !rd.RefMode() {
 			t.Error("ref pipe should report RefMode")
 		}
-		if _, err := m.Seek(cons, rfd, 0, io.SeekStart); !errors.Is(err, ErrNotSupported) {
+		if _, err := m.Seek(p, cons, rfd, 0, io.SeekStart); !errors.Is(err, ErrNotSupported) {
 			t.Errorf("Seek on pipe: %v", err)
 		}
 		if cons.NumFDs() != 3 {

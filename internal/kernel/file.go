@@ -41,6 +41,26 @@ func (m *Machine) loadExtent(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg 
 	return a
 }
 
+// readCached returns a caller-owned aggregate for [off, off+n) of f served
+// through the unified cache — the kernel-internal half of IOL_read, with no
+// user-domain grant and no per-slice boundary work. The splice path uses it
+// directly; IOLReadFile layers the user-facing costs on top.
+func (m *Machine) readCached(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg {
+	if off+n > f.Size() {
+		n = f.Size() - off
+	}
+	if n <= 0 {
+		return core.NewAgg()
+	}
+	k := cache.Key{File: f.ID, Off: off, Len: n}
+	a := m.FileCache.Lookup(p, k)
+	if a == nil {
+		a = m.loadExtent(p, f, off, n)
+		m.FileCache.Insert(p, k, a)
+	}
+	return a
+}
+
 // IOLReadFile is the IOL_read path for files (Fig. 2, §3.5): it returns a
 // buffer aggregate for [off, off+n) of the file, served from the unified
 // cache when possible, and makes the underlying chunks readable in the
@@ -56,18 +76,7 @@ func (m *Machine) loadExtent(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg 
 // descriptor and use the generic Machine.IOLRead.
 func (m *Machine) IOLReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
-	if off+n > f.Size() {
-		n = f.Size() - off
-	}
-	if n <= 0 {
-		return core.NewAgg()
-	}
-	k := cache.Key{File: f.ID, Off: off, Len: n}
-	a := m.FileCache.Lookup(p, k)
-	if a == nil {
-		a = m.loadExtent(p, f, off, n)
-		m.FileCache.Insert(p, k, a)
-	}
+	a := m.readCached(p, f, off, n)
 	m.Host.Use(p, sim.Duration(a.NumSlices())*m.Costs.AggOp)
 	core.Transfer(p, a, pr.Domain)
 	return a
@@ -83,6 +92,14 @@ func (m *Machine) IOLReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int
 // whose generic IOLRead takes this path.
 func (m *Machine) IOLReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
+	a := m.readPool(p, pool, f, off, n)
+	core.Transfer(p, a, pr.Domain)
+	return a
+}
+
+// readPool is the kernel-internal half of IOLReadPool: the pool-directed
+// read without the user-domain grant.
+func (m *Machine) readPool(p *sim.Proc, pool *core.Pool, f *fsim.File, off, n int64) *core.Agg {
 	if off+n > f.Size() {
 		n = f.Size() - off
 	}
@@ -104,7 +121,6 @@ func (m *Machine) IOLReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim
 		b.Release()
 		got += take
 	}
-	core.Transfer(p, a, pr.Domain)
 	return a
 }
 
@@ -197,12 +213,7 @@ func (m *Machine) ReadPOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int6
 	if n <= 0 {
 		return 0
 	}
-	k := cache.Key{File: f.ID, Off: off, Len: n}
-	a := m.FileCache.Lookup(p, k)
-	if a == nil {
-		a = m.loadExtent(p, f, off, n)
-		m.FileCache.Insert(p, k, a)
-	}
+	a := m.readCached(p, f, off, n)
 	a.ReadAt(dst[:n], 0)
 	m.Host.Use(p, m.Costs.Copy(int(n)))
 	a.Release()

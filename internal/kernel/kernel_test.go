@@ -113,7 +113,7 @@ func TestPOSIXReadCopiesAndCosts(t *testing.T) {
 		warmIOL := p.Now().Sub(t1)
 		a.Release()
 
-		if warmPOSIX <= warmIOL+m.Costs.Copy(int(f.Size()))/2 {
+		if warmPOSIX <= warmIOL+m.Costs.PriceCopy(int(f.Size()))/2 {
 			t.Errorf("warm read(2)=%v, warm IOL_read=%v: copy tax missing", warmPOSIX, warmIOL)
 		}
 	})

@@ -264,8 +264,8 @@ func TestChecksumCacheSavesServerCPU(t *testing.T) {
 	})
 	r.eng.Run()
 	saved := firstBusy - secondBusy
-	if saved < r.costs.Cksum(size)*8/10 {
-		t.Fatalf("checksum cache saved %v, want ≈ %v", saved, r.costs.Cksum(size))
+	if saved < r.costs.PriceCksum(size)*8/10 {
+		t.Fatalf("checksum cache saved %v, want ≈ %v", saved, r.costs.PriceCksum(size))
 	}
 	hits, _, hitBytes, _ := ck.Stats()
 	if hits == 0 || hitBytes < size {

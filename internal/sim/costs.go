@@ -71,6 +71,17 @@ type CostModel struct {
 	FileOpen time.Duration
 	// CacheLookup charges one file cache lookup.
 	CacheLookup time.Duration
+	// CksumLookup charges one checksum-cache probe that hits (§3.9): a hash
+	// of ⟨buffer, generation, offset, length⟩ instead of a pass over the
+	// bytes. Misses charge Cksum for the bytes on top.
+	CksumLookup time.Duration
+
+	// meter accumulates the per-byte work the model has priced out, for
+	// tests and benchmarks that assert "zero copies on this path" or report
+	// copies avoided. Copy and Cksum are only invoked where the resulting
+	// duration is charged, so the meter tracks charged work.
+	meterCopied int64
+	meterCksum  int64
 
 	// DiskSeek is the average positioning time per disk request;
 	// DiskPSPerByte the media transfer cost per byte.
@@ -117,21 +128,48 @@ func DefaultCosts() *CostModel {
 
 		FileOpen:    14 * time.Microsecond,
 		CacheLookup: 2 * time.Microsecond,
+		CksumLookup: 400 * time.Nanosecond,
 
 		DiskSeek:      7500 * time.Microsecond,
 		DiskPSPerByte: 55000, // 55 ns/B ≈ 18 MB/s media rate
 	}
 }
 
-// Copy returns the cost of copying n bytes.
+// Copy returns the cost of copying n bytes and meters them as charged copy
+// work. Callers that only want the price (test assertions, capacity math)
+// must use PriceCopy instead, which leaves the meter alone.
 func (c *CostModel) Copy(n int) time.Duration {
+	c.meterCopied += int64(n)
+	return c.PriceCopy(n)
+}
+
+// PriceCopy returns the cost of copying n bytes without metering.
+func (c *CostModel) PriceCopy(n int) time.Duration {
 	return time.Duration(int64(n) * c.CopyPSPerByte / 1000)
 }
 
-// Cksum returns the cost of checksumming n bytes.
+// Cksum returns the cost of checksumming n bytes and meters them as charged
+// checksum work. Pure queries must use PriceCksum.
 func (c *CostModel) Cksum(n int) time.Duration {
+	c.meterCksum += int64(n)
+	return c.PriceCksum(n)
+}
+
+// PriceCksum returns the cost of checksumming n bytes without metering.
+func (c *CostModel) PriceCksum(n int) time.Duration {
 	return time.Duration(int64(n) * c.CksumPSPerByte / 1000)
 }
+
+// MeterCopiedBytes reports the bytes of copy work priced since the last
+// ResetMeter — every site that charges CostModel.Copy, machine-wide.
+func (c *CostModel) MeterCopiedBytes() int64 { return c.meterCopied }
+
+// MeterCksumBytes reports the bytes of checksum work priced since the last
+// ResetMeter (checksum-cache hits never reach Cksum, so they don't count).
+func (c *CostModel) MeterCksumBytes() int64 { return c.meterCksum }
+
+// ResetMeter zeroes the charged-work meter.
+func (c *CostModel) ResetMeter() { c.meterCopied, c.meterCksum = 0, 0 }
 
 // Touch returns the default cost of application code examining n bytes.
 func (c *CostModel) Touch(n int) time.Duration {

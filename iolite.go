@@ -75,12 +75,17 @@ const (
 	PipeRef  = ipcsim.ModeRef
 )
 
+// MaxIO is a read/splice length that exceeds any queued data: "everything
+// one call can yield".
+const MaxIO = kernel.MaxIO
+
 // Descriptor kinds.
 const (
 	KindFile     = kernel.KindFile
 	KindPipe     = kernel.KindPipe
 	KindSocket   = kernel.KindSocket
 	KindListener = kernel.KindListener
+	KindObject   = kernel.KindObject
 )
 
 // Descriptor-layer errors. End of stream is io.EOF.
@@ -93,6 +98,13 @@ var (
 
 // PipeOf returns the pipe behind a pipe descriptor (for Stats).
 func PipeOf(d Desc) (*Pipe, bool) { return kernel.PipeOf(d) }
+
+// NewAggDesc wraps a sealed aggregate as a read-only object descriptor
+// (KindObject): install it with Process.Install and serve it with the
+// splice fast path — System.Splice/SpliceAt move sealed buffer references
+// from files, sockets, ref-mode pipes, and objects to sockets and pipes
+// entirely in-kernel, with zero copy charge.
+func (s *System) NewAggDesc(a *Agg) Desc { return kernel.NewAggDesc(s.Machine, a) }
 
 // SystemConfig sizes a simulated machine.
 type SystemConfig struct {

@@ -27,7 +27,7 @@ func TestSystemQuickstartFlow(t *testing.T) {
 		if !bytes.Equal(a.Materialize(), want) {
 			t.Error("IOLRead returned wrong bytes")
 		}
-		if _, err := sys.Seek(app, fd, 0, io.SeekStart); err != nil {
+		if _, err := sys.Seek(p, app, fd, 0, io.SeekStart); err != nil {
 			t.Fatalf("Seek: %v", err)
 		}
 		b, err := sys.IOLRead(p, app, fd, f.Size())
@@ -112,5 +112,51 @@ func TestSystemMemoryConfig(t *testing.T) {
 	sys := NewSystem(SystemConfig{MemBytes: 64 << 20})
 	if got := sys.VM.TotalPages(); got != (64<<20)/4096 {
 		t.Fatalf("TotalPages = %d", got)
+	}
+}
+
+func TestSystemSpliceFileToPipe(t *testing.T) {
+	// The public splice surface: file → ref-mode pipe in one syscall, plus
+	// a sealed object behind an fd via NewAggDesc.
+	sys := NewSystem(SystemConfig{})
+	f := sys.FS.Create("/doc", 12<<10)
+	app := sys.NewProcess("app", 1<<20)
+	cons := sys.NewProcess("cons", 1<<20)
+	rfd, wfd := sys.Pipe2(cons, app, PipeRef)
+	want := sys.FS.Expected(f, 0, f.Size())
+	var got []byte
+	sys.Go("cons", func(p *Proc) {
+		for {
+			a, err := sys.IOLRead(p, cons, rfd, MaxIO)
+			if err != nil {
+				return
+			}
+			got = append(got, a.Materialize()...)
+			a.Release()
+		}
+	})
+	sys.Run(func(p *Proc) {
+		fd, err := sys.Open(p, app, "/doc")
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		moved, err := sys.Splice(p, app, wfd, fd, f.Size())
+		if err != nil || moved != f.Size() {
+			t.Fatalf("Splice: moved=%d err=%v", moved, err)
+		}
+		obj := core.PackBytes(p, app.Pool, []byte("sealed"))
+		ofd := app.Install(sys.NewAggDesc(obj))
+		d, _ := app.Desc(ofd)
+		if d.Kind() != KindObject {
+			t.Fatalf("Kind = %v, want object", d.Kind())
+		}
+		if moved, err := sys.SpliceAt(p, app, wfd, ofd, 0, MaxIO); err != nil || moved != 6 {
+			t.Fatalf("SpliceAt object: moved=%d err=%v", moved, err)
+		}
+		sys.Close(p, app, wfd)
+		sys.Close(p, app, ofd)
+	})
+	if !bytes.Equal(got, append(want, []byte("sealed")...)) {
+		t.Fatalf("spliced stream corrupted (%d bytes)", len(got))
 	}
 }
