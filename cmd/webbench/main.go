@@ -1,11 +1,12 @@
 // Command webbench regenerates the paper's Web-server figures (3-13) on
-// the simulated testbed — plus the caching reverse-proxy scenario — and
-// prints the tables they plot.
+// the simulated testbed — plus the caching reverse-proxy and fcgi
+// worker-pool scenarios — and prints the tables they plot.
 //
 // Usage:
 //
 //	webbench -fig 3          # one figure
 //	webbench -fig proxy      # the reverse-proxy tier comparison
+//	webbench -fig fcgi       # the fcgi worker-pool scaling study
 //	webbench -fig all -quick # every figure, reduced point set
 package main
 
@@ -31,12 +32,13 @@ var figures = map[string]func(experiments.Options) *experiments.Table{
 	"12":    experiments.Fig12,
 	"13":    experiments.Fig13,
 	"proxy": experiments.FigProxy,
+	"fcgi":  experiments.FigFCGI,
 }
 
-var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy"}
+var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', or 'all'")
+	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
@@ -49,7 +51,7 @@ func main() {
 	names := figureOrder
 	if *fig != "all" {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, or all)\n", *fig)
+			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, or all)\n", *fig)
 			os.Exit(2)
 		}
 		names = []string{*fig}

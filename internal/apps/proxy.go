@@ -77,6 +77,10 @@ type ProxyConfig struct {
 	Tss int
 	// CacheBytes caps the response cache (0 = unlimited). Eviction is LRU.
 	CacheBytes int64
+	// TTL bounds how long a cached response may be served (0 = forever).
+	// A lookup that finds an entry older than TTL evicts it and refetches
+	// from the origin — expiry without conditional revalidation.
+	TTL time.Duration
 }
 
 // proxyEntry is one cached response (header + body, exactly as the origin
@@ -90,6 +94,8 @@ type proxyEntry struct {
 	resp *core.Agg
 	fd   int
 	last sim.Time
+	// stored is the fetch instant, against which TTL expiry is judged.
+	stored sim.Time
 
 	// inflight counts connections currently sending this entry; eviction
 	// of a busy entry only marks it dead, and the last sender reclaims it
@@ -114,6 +120,7 @@ type Proxy struct {
 	misses   int64
 	bytesOut int64
 	aborted  int64
+	expired  int64
 }
 
 // NewProxy creates and starts a reverse proxy on cfg.Listener.
@@ -147,9 +154,13 @@ func (px *Proxy) HitRate() float64 {
 	return float64(px.hits) / float64(px.hits+px.misses)
 }
 
+// Expired reports how many cache entries a lookup has retired for
+// exceeding the configured TTL (each one turns that request into a miss).
+func (px *Proxy) Expired() int64 { return px.expired }
+
 // ResetStats zeroes the counters (cache contents stay).
 func (px *Proxy) ResetStats() {
-	px.requests, px.hits, px.misses, px.bytesOut, px.aborted = 0, 0, 0, 0, 0
+	px.requests, px.hits, px.misses, px.bytesOut, px.aborted, px.expired = 0, 0, 0, 0, 0, 0
 }
 
 func (px *Proxy) acceptLoop(p *sim.Proc) {
@@ -207,6 +218,14 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 		// splice fd, whose table slot would otherwise be reused — must
 		// outlive every sender. The last sender reclaims a dead entry.
 		e := px.cache[path]
+		if e != nil && px.cfg.TTL > 0 && p.Now().Sub(e.stored) > px.cfg.TTL {
+			// The entry outlived its TTL: expire it and refetch. In-flight
+			// senders of the stale copy finish undisturbed (the evict path
+			// pins busy entries).
+			px.expired++
+			px.evict(p, e)
+			e = nil
+		}
 		if e != nil {
 			px.hits++
 			e.inflight++
@@ -328,7 +347,16 @@ func (px *Proxy) insert(p *sim.Proc, e *proxyEntry) {
 		e.fd = px.proc.Install(kernel.NewAggDesc(px.m, e.resp))
 		e.resp = nil // the descriptor owns the aggregate now
 	}
+	// Two connections can miss on the same path concurrently (both yield
+	// inside fetch) — and the TTL expiry path re-opens that window every
+	// period. The second insert must evict the first entry, not orphan
+	// it: a silent map overwrite would leak its aggregate or splice fd
+	// and leave its size counted against cacheBytes forever.
+	if old := px.cache[e.path]; old != nil && old != e {
+		px.evict(p, old)
+	}
 	e.last = p.Now()
+	e.stored = p.Now()
 	px.cache[e.path] = e
 	px.cacheBytes += e.size
 	for px.cfg.CacheBytes > 0 && px.cacheBytes > px.cfg.CacheBytes && len(px.cache) > 1 {

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/fcgi"
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+)
+
+// The fcgi experiment: the worker-pool scaling study the ROADMAP asks for
+// ("requests multiplexed over one pipe pair"). A server process drives an
+// internal/fcgi worker pool directly — no HTTP tier, so the pipe
+// transport is the entire data path — under a closed-loop population of
+// requesters. Each request models a FastCGI app: parse params, wait on a
+// backend (the off-CPU AppDelay), and stream a cached document back.
+// Concurrency comes from two places the figure sweeps independently:
+// worker count (processes) and mux depth (in-flight requests per pipe
+// pair). Copy mode serializes every response byte through the pipe FIFO;
+// ref mode passes the worker's sealed aggregates by reference, so the
+// per-request CPU cost collapses to framing and the same hardware
+// sustains both more workers' and deeper muxes' worth of overlap.
+
+// FCGIParams describes one fcgi scaling run.
+type FCGIParams struct {
+	// Workers is the pool size N; Depth is the per-worker mux depth.
+	Workers int
+	Depth   int
+	// Requesters is the closed-loop request population M (default
+	// Workers×Depth — every mux slot occupied).
+	Requesters int
+	// DocBytes sizes the response document (default 16 KB).
+	DocBytes int64
+	// AppDelay is the per-request off-CPU wait the app models (a backend
+	// query; default 400 µs). It is what concurrency hides.
+	AppDelay time.Duration
+	// Ref selects reference-mode response records.
+	Ref bool
+
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+// FCGIResult is one run's outcome.
+type FCGIResult struct {
+	Label string
+	// KReqPerSec is completed requests per second, in thousands.
+	KReqPerSec float64
+	Requests   int64
+	Failures   int64
+	// CopiedMB is the copy work charged during measurement, in megabytes
+	// (ref mode: request framing only; copy mode: every response byte
+	// twice).
+	CopiedMB float64
+	CPUUtil  float64
+}
+
+// RunFCGI executes one fcgi worker-pool experiment.
+func RunFCGI(fp FCGIParams) FCGIResult {
+	if fp.Workers <= 0 {
+		fp.Workers = 4
+	}
+	if fp.Depth <= 0 {
+		fp.Depth = 8
+	}
+	if fp.Requesters <= 0 {
+		fp.Requesters = fp.Workers * fp.Depth
+	}
+	if fp.DocBytes == 0 {
+		fp.DocBytes = 16 << 10
+	}
+	if fp.AppDelay == 0 {
+		fp.AppDelay = 400 * time.Microsecond
+	}
+	if fp.Warmup == 0 {
+		fp.Warmup = 300 * time.Millisecond
+	}
+	if fp.Measure == 0 {
+		fp.Measure = 1500 * time.Millisecond
+	}
+
+	eng := sim.New()
+	costs := sim.DefaultCosts()
+	m := kernel.NewMachine(eng, costs, kernel.Config{})
+	srv := m.NewProcess("fcgi-srv", 2<<20)
+
+	// The worker app: a caching document generator (§3.10 shape — the
+	// IO-Lite worker's documents live as sealed aggregates in its own
+	// ACL'd pool; the conventional worker keeps private bytes).
+	aggs := fcgi.NewAggCache()
+	raws := fcgi.NewRawCache()
+	gen := func(n int64) []byte {
+		d := make([]byte, n)
+		for i := range d {
+			d[i] = byte(i*13 + 5)
+		}
+		return d
+	}
+	pool := fcgi.NewWorkerPool(fcgi.PoolConfig{
+		Machine: m,
+		Server:  srv,
+		Workers: fp.Workers,
+		Depth:   fp.Depth,
+		Ref:     fp.Ref,
+		Name:    "fw",
+		Handler: func(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
+			m.Host.Use(p, 20*time.Microsecond) // request parse/dispatch work
+			p.Sleep(fp.AppDelay)               // the backend wait
+			if fp.Ref {
+				agg := aggs.GetOrPack(p, w, fp.DocBytes, func() []byte { return gen(fp.DocBytes) })
+				req.Reply(p, agg, 0)
+				return
+			}
+			raw := raws.GetOrGen(w, fp.DocBytes, func() []byte { return gen(fp.DocBytes) })
+			req.ReplyBytes(p, raw, 0)
+		},
+	})
+
+	end := sim.Time(fp.Warmup + fp.Measure)
+	params := []byte(fmt.Sprintf("/doc/%d", fp.DocBytes))
+	var done, failed int64
+	for i := 0; i < fp.Requesters; i++ {
+		eng.Go(fmt.Sprintf("req%d", i), func(p *sim.Proc) {
+			for p.Now() < end {
+				resp, err := pool.Do(p, fcgi.Request{Params: params})
+				if err != nil {
+					failed++
+					return
+				}
+				resp.Release()
+				done++
+			}
+		})
+	}
+
+	mode := "copy"
+	if fp.Ref {
+		mode = "ref"
+	}
+	res := FCGIResult{Label: fmt.Sprintf("%s w=%d d=%d", mode, fp.Workers, fp.Depth)}
+	var warmDone int64
+	eng.At(sim.Time(fp.Warmup), func() {
+		warmDone = done
+		costs.ResetMeter()
+		m.CPU().ResetStats()
+	})
+	eng.At(end, func() {
+		res.Requests = done - warmDone
+		res.KReqPerSec = float64(res.Requests) / fp.Measure.Seconds() / 1e3
+		res.CopiedMB = float64(costs.MeterCopiedBytes()) / (1 << 20)
+		res.CPUUtil = m.CPU().Utilization()
+	})
+	eng.Run()
+	res.Failures = failed
+	return res
+}
+
+// fcgiFigPoints is the worker-count x-axis of the scaling figure.
+func fcgiFigPoints(quick bool) []int {
+	if quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// FigFCGI — worker-pool scaling over the fcgi subsystem: completed
+// requests per second versus worker count, for copy- and reference-mode
+// records at mux depth 1 (one request per pipe pair at a time — the old
+// ad-hoc CGI protocol's shape) and depth 8 (multiplexed). The notes
+// quantify the charged copy work: ref mode's stays flat framing bytes
+// while copy mode's scales with every response byte moved.
+func FigFCGI(opt Options) *Table {
+	t := &Table{
+		Title:   "FCGI: worker-pool scaling, copy vs ref records (kreq/s)",
+		XLabel:  "workers",
+		Columns: []string{"copy d=1", "copy d=8", "ref d=1", "ref d=8"},
+	}
+	warm, meas := 300*time.Millisecond, 1500*time.Millisecond
+	if opt.Quick {
+		warm, meas = 200*time.Millisecond, 750*time.Millisecond
+	}
+	configs := []struct {
+		ref   bool
+		depth int
+	}{
+		{false, 1}, {false, 8}, {true, 1}, {true, 8},
+	}
+	for _, n := range fcgiFigPoints(opt.Quick) {
+		row := Row{Label: fmt.Sprintf("%d", n)}
+		for _, cfg := range configs {
+			r := RunFCGI(FCGIParams{
+				Workers: n,
+				Depth:   cfg.depth,
+				Ref:     cfg.ref,
+				Warmup:  warm,
+				Measure: meas,
+			})
+			opt.progress("FigFCGI %s: %.1f kreq/s (copied %.1f MB, cpu %.2f)",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil)
+			row.Values = append(row.Values, r.KReqPerSec)
+			if n == 4 {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"%s: copied %.2f MB, cpu %.2f", r.Label, r.CopiedMB, r.CPUUtil))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"16KB docs, 400µs app wait, M = workers × depth closed-loop requesters",
+		"d=1 is the old one-request-per-worker pipe protocol; d=8 multiplexes 8 requests per pipe pair",
+		"ref-mode response payloads cross pipe and domain boundary by reference: copied MB is framing only")
+	return t
+}

@@ -40,8 +40,16 @@ func TestProxyChargedCostOrdering(t *testing.T) {
 		t.Errorf("copy work: zero-copy %.2f MB vs copying %.2f MB, want ≥ 10x gap",
 			zc.CopiedMB, cp.CopiedMB)
 	}
-	if sp.CopiedMB > zc.CopiedMB {
-		t.Errorf("splice copied %.2f MB > zero-copy %.2f MB", sp.CopiedMB, zc.CopiedMB)
+	// Neither reference mode's hit path copies a byte: the residual is the
+	// request trickle (a couple of bytes per request, vs ~66 KB/request on
+	// the copying proxy). The residuals' relative order between zc and
+	// splice is noise — it tracks request counts, not the data path.
+	perReqBytes := func(r ProxyResult) float64 {
+		return r.CopiedMB * (1 << 20) / float64(r.Requests)
+	}
+	if perReqBytes(zc) > 4 || perReqBytes(sp) > 4 {
+		t.Errorf("ref-mode residual copies: zc %.2f B/req, splice %.2f B/req, want request-trickle scale",
+			perReqBytes(zc), perReqBytes(sp))
 	}
 
 	// Charged cost per delivered byte: CPU busy fraction normalized by

@@ -1,0 +1,81 @@
+package fcgi
+
+import (
+	"iolite/internal/core"
+	"iolite/internal/sim"
+)
+
+// AggCache is the caching-CGI-program pattern (§3.10) as a reusable
+// piece: per-worker sealed document aggregates, keyed by the app's
+// choice of int64 (a size, a hash). Each worker's documents live in its
+// own pool, so the ACL isolation between workers comes for free; repeat
+// requests reuse the same immutable buffers, keeping downstream
+// checksums cached.
+//
+// GetOrPack is safe against the mux's intra-worker concurrency: packing
+// yields (allocation and producer-copy charges), so two handlers for the
+// same new key can race to fill the slot. The loser's aggregate is
+// released, never orphaned — a leak the one-request-per-worker protocol
+// this subsystem replaced could not express, and every caching handler
+// would otherwise have to dodge by hand.
+type AggCache struct {
+	docs map[*Worker]map[int64]*core.Agg
+}
+
+// NewAggCache returns an empty cache.
+func NewAggCache() *AggCache {
+	return &AggCache{docs: make(map[*Worker]map[int64]*core.Agg)}
+}
+
+// GetOrPack returns the cached aggregate for key in w's pool, packing
+// gen()'s bytes on a miss. The cache owns the returned reference;
+// callers Clone (or Reply, which clones) to send it.
+func (c *AggCache) GetOrPack(p *sim.Proc, w *Worker, key int64, gen func() []byte) *core.Agg {
+	docs := c.docs[w]
+	if docs == nil {
+		docs = make(map[int64]*core.Agg)
+		c.docs[w] = docs
+	}
+	if agg, ok := docs[key]; ok {
+		return agg
+	}
+	fresh := core.PackBytes(p, w.Proc.Pool, gen())
+	if winner, ok := docs[key]; ok {
+		// A concurrent handler filled the slot while the pack yielded:
+		// keep the winner, drop the duplicate's references.
+		fresh.Release()
+		return winner
+	}
+	docs[key] = fresh
+	return fresh
+}
+
+// RawCache is AggCache's conventional sibling: per-worker documents as
+// plain private bytes (the baseline FastCGI program's shape — no
+// refcounts, no ACLs, every send copies). Concurrent misses are benign
+// here (a duplicate []byte is garbage-collected), so GetOrGen only keeps
+// the lookup-and-fill pattern in one place.
+type RawCache struct {
+	docs map[*Worker]map[int64][]byte
+}
+
+// NewRawCache returns an empty cache.
+func NewRawCache() *RawCache {
+	return &RawCache{docs: make(map[*Worker]map[int64][]byte)}
+}
+
+// GetOrGen returns the cached bytes for key in w's cache, generating
+// them on a miss.
+func (c *RawCache) GetOrGen(w *Worker, key int64, gen func() []byte) []byte {
+	docs := c.docs[w]
+	if docs == nil {
+		docs = make(map[int64][]byte)
+		c.docs[w] = docs
+	}
+	if raw, ok := docs[key]; ok {
+		return raw
+	}
+	raw := gen()
+	docs[key] = raw
+	return raw
+}

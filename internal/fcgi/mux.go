@@ -1,0 +1,265 @@
+package fcgi
+
+import (
+	"fmt"
+	"io"
+
+	"iolite/internal/core"
+	"iolite/internal/sim"
+)
+
+// Request is one multiplexed request: the PARAMS payload (e.g. a path or
+// serialized environment) plus an optional STDIN body in either payload
+// representation.
+type Request struct {
+	Params []byte
+	// Stdin / StdinAgg is the optional request body; at most one is set.
+	Stdin    []byte
+	StdinAgg *core.Agg
+}
+
+// Response is one completed request: the STDOUT payload — Body (by
+// reference, on a ref-mode response pipe) or Bytes (copy mode) — and the
+// application status from the END record.
+type Response struct {
+	Status uint32
+	Body   *core.Agg
+	Bytes  []byte
+}
+
+// Release drops the response's payload reference, if any.
+func (r *Response) Release() {
+	if r.Body != nil {
+		r.Body.Release()
+		r.Body = nil
+	}
+}
+
+// Payload materializes the response body regardless of mode (tests and
+// diagnostics; data-path callers use Body to stay zero-copy).
+func (r *Response) Payload() []byte {
+	if r.Body != nil {
+		return r.Body.Materialize()
+	}
+	return r.Bytes
+}
+
+// Len reports the response body size without materializing.
+func (r *Response) Len() int {
+	if r.Body != nil {
+		return r.Body.Len()
+	}
+	return len(r.Bytes)
+}
+
+// stream is the mux-side state of one in-flight request: inbound records
+// queued by the reader proc, and the requester parked on wait.
+type stream struct {
+	recs []Record
+	wait sim.WaitQueue
+	err  error
+}
+
+// Mux multiplexes up to depth concurrent requests over one Conn. Each
+// request gets a request id; a dedicated reader proc routes inbound
+// STDOUT/END records to the requester that owns the id. Do blocks when
+// the connection is at depth — the worker's concurrency cap — and fails
+// fast once the connection is broken.
+type Mux struct {
+	c     *Conn
+	depth int
+
+	streams  map[uint16]*stream
+	freeIDs  []uint16
+	nextID   uint16
+	inflight int
+	slots    sim.WaitQueue
+
+	err      error
+	requests int64
+	failures int64
+}
+
+// NewMux starts a multiplexer of the given depth over c, spawning its
+// reader proc on the connection's machine.
+func NewMux(c *Conn, depth int) *Mux {
+	if depth <= 0 {
+		depth = 1
+	}
+	mx := &Mux{c: c, depth: depth, streams: make(map[uint16]*stream)}
+	c.m.Eng.Go(fmt.Sprintf("fcgi.mux%d", c.id), mx.readLoop)
+	return mx
+}
+
+// Conn returns the underlying connection (stats, tests).
+func (mx *Mux) Conn() *Conn { return mx.c }
+
+// Depth returns the mux's in-flight cap.
+func (mx *Mux) Depth() int { return mx.depth }
+
+// Err returns the terminal connection error, if the mux has failed.
+func (mx *Mux) Err() error { return mx.err }
+
+// Stats reports requests issued and requests failed by a broken
+// connection or worker error.
+func (mx *Mux) Stats() (requests, failures int64) {
+	return mx.requests, mx.failures
+}
+
+// Inflight reports how many requests are currently open.
+func (mx *Mux) Inflight() int { return mx.inflight }
+
+func (mx *Mux) allocID() uint16 {
+	if n := len(mx.freeIDs); n > 0 {
+		id := mx.freeIDs[n-1]
+		mx.freeIDs = mx.freeIDs[:n-1]
+		return id
+	}
+	mx.nextID++
+	return mx.nextID
+}
+
+// Do issues one request and blocks until its END record (or a connection
+// failure). Ownership of req.StdinAgg passes to the mux; the caller owns
+// the returned response (Release its Body when done).
+func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
+	mx.requests++
+	for mx.err == nil && mx.inflight >= mx.depth {
+		mx.slots.Wait(p)
+	}
+	if mx.err != nil {
+		mx.failures++
+		if req.StdinAgg != nil {
+			req.StdinAgg.Release()
+		}
+		return nil, mx.err
+	}
+	id := mx.allocID()
+	st := &stream{}
+	mx.streams[id] = st
+	mx.inflight++
+	defer func() {
+		// Records still queued when the request ends (a handler writing
+		// past its END) must drop their references, as fail() does.
+		for _, rec := range st.recs {
+			rec.Release()
+		}
+		st.recs = nil
+		delete(mx.streams, id)
+		mx.freeIDs = append(mx.freeIDs, id)
+		mx.inflight--
+		mx.slots.Wake(1)
+	}()
+
+	flags := uint8(0)
+	noStdin := req.Stdin == nil && req.StdinAgg == nil
+	if noStdin {
+		flags = FlagNoStdin
+	}
+	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecBegin, Flags: flags, ReqID: id}}); err != nil {
+		return mx.fails(req, err)
+	}
+	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecParams, Flags: FlagEndStream, ReqID: id}, Bytes: req.Params}); err != nil {
+		return mx.fails(req, err)
+	}
+	if !noStdin {
+		rec := Record{Header: Header{Type: RecStdin, Flags: FlagEndStream, ReqID: id}, Agg: req.StdinAgg, Bytes: req.Stdin}
+		req.StdinAgg = nil // ownership passed to WriteRecord
+		if err := mx.c.WriteRecord(p, rec); err != nil {
+			rec.Release()
+			return mx.fails(Request{}, err)
+		}
+	}
+
+	resp := &Response{}
+	var body *core.Agg
+	for {
+		for len(st.recs) == 0 && st.err == nil {
+			st.wait.Wait(p)
+		}
+		if st.err != nil {
+			if body != nil {
+				body.Release()
+			}
+			mx.failures++
+			return nil, st.err
+		}
+		rec := st.recs[0]
+		st.recs = st.recs[1:]
+		switch rec.Type {
+		case RecStdout:
+			if rec.Agg != nil {
+				if body == nil {
+					body = rec.Agg
+				} else {
+					body.Concat(rec.Agg)
+					rec.Agg.Release()
+				}
+			} else {
+				resp.Bytes = append(resp.Bytes, rec.Bytes...)
+			}
+		case RecEnd:
+			resp.Status = rec.Length
+			resp.Body = body
+			return resp, nil
+		default:
+			rec.Release() // stray record type: drop
+		}
+	}
+}
+
+// fails releases a failed request's resources and counts the failure.
+func (mx *Mux) fails(req Request, err error) (*Response, error) {
+	if req.StdinAgg != nil {
+		req.StdinAgg.Release()
+	}
+	mx.failures++
+	return nil, err
+}
+
+// readLoop is the mux's reader proc: it demultiplexes inbound records to
+// their streams until the connection dies, then fails every in-flight
+// request.
+func (mx *Mux) readLoop(p *sim.Proc) {
+	for {
+		rec, err := mx.c.ReadRecord(p)
+		if err != nil {
+			if err == io.EOF {
+				// A clean close between records still breaks every
+				// request that was waiting on a response.
+				err = ErrBroken
+			}
+			mx.fail(err)
+			return
+		}
+		st := mx.streams[rec.ReqID]
+		if st == nil {
+			rec.Release() // request already gone (or never existed)
+			continue
+		}
+		st.recs = append(st.recs, rec)
+		st.wait.Wake(1)
+	}
+}
+
+// fail marks the mux broken and wakes everyone: in-flight requests see
+// the error, slot waiters stop queueing.
+func (mx *Mux) fail(err error) {
+	mx.err = err
+	for _, st := range mx.streams {
+		for _, rec := range st.recs {
+			rec.Release()
+		}
+		st.recs = nil
+		st.err = err
+		st.wait.Wake(-1)
+	}
+	mx.slots.Wake(-1)
+}
+
+// Close tears the connection down; the reader proc exits on the resulting
+// EOF and in-flight requests fail with ErrBroken. Must run on a simulated
+// proc of the conn's owning process.
+func (mx *Mux) Close(p *sim.Proc) {
+	mx.c.Close(p)
+}

@@ -1,0 +1,194 @@
+package fcgi
+
+import (
+	"fmt"
+
+	"iolite/internal/ipcsim"
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+)
+
+// PoolConfig wires a worker pool.
+type PoolConfig struct {
+	Machine *kernel.Machine
+	// Server is the process that issues requests (it holds the
+	// server-side fds of every worker's pipe pair).
+	Server *kernel.Process
+	// Workers is the number of persistent worker processes (default 4).
+	Workers int
+	// Depth is each worker's mux depth — the in-flight request cap per
+	// connection (default 8). Total pool concurrency is Workers×Depth.
+	Depth int
+	// Ref selects reference-mode response pipes: STDOUT payloads are
+	// sealed aggregates passed by reference, zero copy charge. The
+	// request pipe is always copy mode (requests are tiny).
+	Ref bool
+	// WorkerMem is each worker process's private memory (default 2 MB).
+	WorkerMem int
+	// Name prefixes worker process names (default "fcgi").
+	Name string
+	// Handler serves each request; it receives the owning Worker so
+	// per-worker state (document caches in the worker's own pool) is a
+	// field access away.
+	Handler func(p *sim.Proc, w *Worker, req *ServerRequest)
+}
+
+// Worker is one persistent worker process: its own protection domain and
+// allocation pool (the per-worker ACL isolation of §3.10 — a worker's
+// buffers are readable only by domains its pipe transfers granted), one
+// pipe pair to the server, and the server-side mux over it.
+type Worker struct {
+	ID   int
+	Proc *kernel.Process
+
+	conn     *Conn // worker side
+	mux      *Mux  // server side
+	inflight int
+}
+
+// Mux returns the server-side multiplexer for this worker's connection.
+func (w *Worker) Mux() *Mux { return w.mux }
+
+// Conn returns the worker-side connection (its Stats carry the worker's
+// write errors — responses that hit a closed pipe).
+func (w *Worker) Conn() *Conn { return w.conn }
+
+// WorkerPool runs N persistent workers and multiplexes M ≫ N requests
+// over their pipe pairs — the generalization of the one-request-per-
+// worker CGI protocol the httpd server used to hand-roll. Do routes each
+// request to the least-loaded live worker; it starts blocking only when
+// every worker is at its mux depth, and a blocked request stays bound to
+// the worker it picked until a slot there frees.
+type WorkerPool struct {
+	cfg     PoolConfig
+	workers []*Worker
+	rr      int
+
+	requests int64
+	failures int64
+}
+
+// NewWorkerPool builds the workers, their pipe pairs, muxes, and serve
+// loops. Pipe wiring happens at setup time (uncharged), like all process
+// plumbing in this repo.
+func NewWorkerPool(cfg PoolConfig) *WorkerPool {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 8
+	}
+	if cfg.WorkerMem <= 0 {
+		cfg.WorkerMem = 2 << 20
+	}
+	if cfg.Name == "" {
+		cfg.Name = "fcgi"
+	}
+	if cfg.Handler == nil {
+		panic("fcgi: NewWorkerPool without Handler")
+	}
+	wp := &WorkerPool{cfg: cfg}
+	m := cfg.Machine
+	respMode := ipcsim.ModeCopy
+	if cfg.Ref {
+		respMode = ipcsim.ModeRef
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &Worker{ID: i}
+		w.Proc = m.NewProcess(fmt.Sprintf("%s%d", cfg.Name, i), cfg.WorkerMem)
+		reqR, reqW := m.Pipe2(w.Proc, cfg.Server, ipcsim.ModeCopy)
+		respR, respW := m.Pipe2(cfg.Server, w.Proc, respMode)
+		w.conn = NewConn(m, w.Proc, reqR, respW, i)
+		w.mux = NewMux(NewConn(m, cfg.Server, respR, reqW, i), cfg.Depth)
+		handler := cfg.Handler
+		worker := w
+		m.Eng.Go(w.Proc.Name, func(p *sim.Proc) {
+			Serve(p, worker.conn, func(hp *sim.Proc, req *ServerRequest) {
+				handler(hp, worker, req)
+			})
+			// The server hung up (or the stream corrupted): close the
+			// worker's ends so the mux reader drains to EOF and fails
+			// any requests still in flight instead of hanging them.
+			worker.conn.Close(p)
+		})
+		wp.workers = append(wp.workers, w)
+	}
+	return wp
+}
+
+// Workers returns the pool's workers (tests and per-worker state).
+func (wp *WorkerPool) Workers() []*Worker { return wp.workers }
+
+// pick selects the live worker with the fewest in-flight requests,
+// breaking ties round-robin so sequential loads still warm every worker
+// over time. Broken workers are skipped — their muxes fail requests
+// instantly, so their inflight count sits at zero and strict least-loaded
+// routing would funnel all traffic into the failure. Only when every
+// worker is broken does pick hand one back, so Do fails fast rather than
+// blocking.
+func (wp *WorkerPool) pick() *Worker {
+	n := len(wp.workers)
+	start := wp.rr % n
+	wp.rr++
+	var best *Worker
+	for i := 0; i < n; i++ {
+		w := wp.workers[(start+i)%n]
+		if w.mux.Err() != nil {
+			continue
+		}
+		if best == nil || w.inflight < best.inflight {
+			best = w
+		}
+	}
+	if best == nil {
+		return wp.workers[start]
+	}
+	return best
+}
+
+// Do issues one request through the least-loaded worker's mux, blocking
+// when that worker is at depth. Ownership and error semantics are Mux.Do's.
+func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
+	wp.requests++
+	w := wp.pick()
+	w.inflight++
+	resp, err := w.mux.Do(p, req)
+	w.inflight--
+	if err != nil {
+		wp.failures++
+	}
+	return resp, err
+}
+
+// Stats reports requests issued, requests failed, and worker-side write
+// errors (a worker's response hit a closed pipe — the EPIPE a server
+// abort leaves behind).
+func (wp *WorkerPool) Stats() (requests, failures, writeErrs int64) {
+	for _, w := range wp.workers {
+		_, _, we := w.conn.Stats()
+		writeErrs += we
+	}
+	return wp.requests, wp.failures, writeErrs
+}
+
+// Records reports total records moved over all connections (both
+// directions, both ends).
+func (wp *WorkerPool) Records() int64 {
+	var n int64
+	for _, w := range wp.workers {
+		in, out, _ := w.conn.Stats()
+		n += in + out
+		in, out, _ = w.mux.Conn().Stats()
+		n += in + out
+	}
+	return n
+}
+
+// Close tears down every worker connection: workers drain to EOF and
+// exit; in-flight requests fail with ErrBroken. Must run on a simulated
+// proc.
+func (wp *WorkerPool) Close(p *sim.Proc) {
+	for _, w := range wp.workers {
+		w.mux.Close(p)
+	}
+}

@@ -1,0 +1,157 @@
+// Package fcgi is a FastCGI-style record-framed, request-multiplexing
+// transport over descriptor pipes. IO-Lite's §5.3 observation is that once
+// buffers are immutable aggregates shared across protection domains, the
+// CGI worker protocol reduces to reference-passing over a pipe pair — the
+// remaining cost is framing, not copying. This package supplies the
+// framing: many concurrent requests share ONE pipe pair per worker, with
+// BEGIN/PARAMS/STDIN/STDOUT/END records interleaved on the stream and
+// demultiplexed by request id on both ends.
+//
+// Records carry their payload in one of two modes, chosen per pipe by the
+// pipe's own mode (the descriptor layer's RefMode):
+//
+//   - copy mode: header and payload bytes are serialized into the pipe's
+//     kernel FIFO (the conventional FastCGI wire format, one copy in and
+//     one copy out per byte);
+//   - ref mode: each record travels as a single buffer aggregate — an
+//     8-byte header slice generated in place in the sender's pool,
+//     followed by the sealed payload aggregate by reference. The pipe
+//     passes the aggregate across the domain boundary with persistent
+//     read grants, so payload bytes charge zero copy work end to end.
+//
+// The layers stack as: Conn (record framing over two fds) → Mux
+// (request-id multiplexing, bounded depth, a reader proc routing inbound
+// records to waiting requests) → WorkerPool (N persistent worker
+// processes with per-worker ACL'd pools, M ≫ N in-flight requests).
+package fcgi
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"iolite/internal/core"
+)
+
+// RecType names a record's role in the per-request streams.
+type RecType uint8
+
+// Record types. A request is BEGIN, then a PARAMS stream, then (unless
+// BEGIN carries FlagNoStdin) a STDIN stream; the response is a STDOUT
+// stream closed by one END record. Streams are terminated by the
+// FlagEndStream bit on their last record rather than by empty marker
+// records, halving the record count of the common small request.
+const (
+	RecBegin RecType = 1 + iota
+	RecParams
+	RecStdin
+	RecStdout
+	RecEnd
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecParams:
+		return "PARAMS"
+	case RecStdin:
+		return "STDIN"
+	case RecStdout:
+		return "STDOUT"
+	case RecEnd:
+		return "END"
+	}
+	return "unknown"
+}
+
+// Record flags.
+const (
+	// FlagEndStream marks the last record of its PARAMS/STDIN/STDOUT
+	// stream.
+	FlagEndStream uint8 = 1 << 0
+	// FlagNoStdin on a BEGIN record announces that no STDIN stream
+	// follows; the request is complete when its PARAMS stream ends.
+	FlagNoStdin uint8 = 1 << 1
+)
+
+// HeaderLen is the fixed record header size on the wire.
+const HeaderLen = 8
+
+// Header is the fixed-size record header: type, flags, the request id the
+// record belongs to, and the payload length.
+type Header struct {
+	Type  RecType
+	Flags uint8
+	// ReqID multiplexes requests over one connection. Id 0 is reserved.
+	ReqID uint16
+	// Length is the payload byte count. END records carry no payload and
+	// reuse the field as the application status (FastCGI's appStatus).
+	Length uint32
+}
+
+func (h Header) encode(dst []byte) {
+	dst[0] = byte(h.Type)
+	dst[1] = h.Flags
+	binary.BigEndian.PutUint16(dst[2:], h.ReqID)
+	binary.BigEndian.PutUint32(dst[4:], h.Length)
+}
+
+func parseHeader(b []byte) (Header, error) {
+	h := Header{
+		Type:   RecType(b[0]),
+		Flags:  b[1],
+		ReqID:  binary.BigEndian.Uint16(b[2:]),
+		Length: binary.BigEndian.Uint32(b[4:]),
+	}
+	if h.Type < RecBegin || h.Type > RecEnd || h.ReqID == 0 {
+		return h, ErrProtocol
+	}
+	return h, nil
+}
+
+// Framing errors.
+var (
+	// ErrProtocol reports a malformed record (bad type, reserved id, or a
+	// ref-mode aggregate whose length disagrees with its header).
+	ErrProtocol = errors.New("fcgi: malformed record")
+	// ErrBroken reports a connection whose peer is gone: the mux fails
+	// every in-flight and future request with it.
+	ErrBroken = errors.New("fcgi: connection broken")
+)
+
+// Record is one framed unit. Exactly one payload representation is
+// populated on receipt, matching the pipe's mode: Agg on a reference-mode
+// pipe (the receiver owns it), Bytes on a copy-mode pipe. On send the
+// caller may supply either; the Conn adapts to its pipe's mode, charging
+// exactly the copies the adaptation performs.
+type Record struct {
+	Header
+	Agg   *core.Agg
+	Bytes []byte
+}
+
+// payloadLen reports the record's payload size in bytes.
+func (r *Record) payloadLen() int {
+	if r.Agg != nil {
+		return r.Agg.Len()
+	}
+	return len(r.Bytes)
+}
+
+// Release drops the record's payload reference, if any.
+func (r *Record) Release() {
+	if r.Agg != nil {
+		r.Agg.Release()
+		r.Agg = nil
+	}
+}
+
+// payloadBytes materializes the record's payload for callers that need
+// contiguous bytes (worker-side params assembly). The CPU cost of the
+// examination is the caller's to model, as with Agg.ReadAt.
+func (r *Record) payloadBytes() []byte {
+	if r.Agg != nil {
+		return r.Agg.Materialize()
+	}
+	return r.Bytes
+}

@@ -7,80 +7,73 @@ import (
 	"time"
 
 	"iolite/internal/core"
-	"iolite/internal/ipcsim"
-	"iolite/internal/kernel"
+	"iolite/internal/fcgi"
 	"iolite/internal/sim"
 )
 
 // cgiRequestWork is the worker's per-request processing beyond moving data.
 const cgiRequestWork = 20 * time.Microsecond
 
-// cgiPool is a FastCGI-style pool of persistent worker processes (§5.3:
-// FastCGI amortizes fork/exec across requests; the remaining costs are pipe
-// IPC and buffering).
+// cgiPool serves dynamic documents through the internal/fcgi subsystem: a
+// FastCGI-style pool of persistent worker processes (§5.3 — FastCGI
+// amortizes fork/exec across requests; the remaining costs are framing
+// and, on conventional servers, pipe copies). Unlike the ad-hoc
+// one-request-per-worker pipe protocol this replaces, each worker's single
+// pipe pair multiplexes several in-flight requests (the pool's mux
+// depth), and on IO-Lite servers the response payload crosses both the
+// pipe and the socket by reference.
 type cgiPool struct {
-	s       *Server
-	idle    []*cgiWorker
-	wait    sim.WaitQueue
-	workers []*cgiWorker
-}
-
-// cgiWorker is one persistent CGI process connected to the server by a
-// request pipe and a response pipe, each end held as a file descriptor in
-// its owning process's table.
-type cgiWorker struct {
 	s    *Server
-	proc *kernel.Process
+	pool *fcgi.WorkerPool
 
-	reqR  int // worker side: read end of the request pipe
-	respW int // worker side: write end of the response pipe
-	reqW  int // server side: write end of the request pipe
-	respR int // server side: read end of the response pipe
-
-	// docs caches generated documents by size: the baseline keeps plain
-	// bytes in its address space; the IO-Lite worker keeps aggregates in
-	// its own pool ("caching CGI programs", §3.10).
-	docsRaw map[int64][]byte
-	docsAgg map[int64]*core.Agg
+	// Per-worker document caches ("caching CGI programs", §3.10): the
+	// IO-Lite worker keeps sealed aggregates in its own ACL'd pool so
+	// repeat requests reuse the same immutable buffers (and downstream
+	// TCP checksums stay cached); the baseline worker keeps plain bytes
+	// in its address space.
+	docsAgg *fcgi.AggCache
+	docsRaw *fcgi.RawCache
 }
 
-func newCGIPool(s *Server, n int) *cgiPool {
-	pool := &cgiPool{s: s}
-	respMode := ipcsim.ModeCopy
-	if s.cfg.Kind.Lite() {
-		respMode = ipcsim.ModeRef
+func newCGIPool(s *Server, workers, depth int) *cgiPool {
+	cp := &cgiPool{
+		s:       s,
+		docsAgg: fcgi.NewAggCache(),
+		docsRaw: fcgi.NewRawCache(),
 	}
-	for i := 0; i < n; i++ {
-		w := &cgiWorker{
-			s:       s,
-			proc:    s.m.NewProcess(fmt.Sprintf("cgi%d", i), 2<<20),
-			docsRaw: make(map[int64][]byte),
-			docsAgg: make(map[int64]*core.Agg),
-		}
-		// Requests are tiny: always a copy pipe. The response pipe passes
-		// references on the IO-Lite server.
-		w.reqR, w.reqW = s.m.Pipe2(w.proc, s.proc, ipcsim.ModeCopy)
-		w.respR, w.respW = s.m.Pipe2(s.proc, w.proc, respMode)
-		pool.workers = append(pool.workers, w)
-		pool.idle = append(pool.idle, w)
-		s.m.Eng.Go(w.proc.Name, w.run)
-	}
-	return pool
+	cp.pool = fcgi.NewWorkerPool(fcgi.PoolConfig{
+		Machine: s.m,
+		Server:  s.proc,
+		Workers: workers,
+		Depth:   depth,
+		Ref:     s.cfg.Kind.Lite(),
+		Name:    "cgi",
+		Handler: cp.handle,
+	})
+	return cp
 }
 
-// acquire takes an idle worker, blocking if all are busy.
-func (cp *cgiPool) acquire(p *sim.Proc) *cgiWorker {
-	for len(cp.idle) == 0 {
-		cp.wait.Wait(p)
+// handle is the CGI application run inside each worker: generate (or
+// reuse) the document for the requested size and stream it back as
+// STDOUT records. A record write error is the simulated EPIPE of a
+// server that hung up; the handler stops the response and the error is
+// counted on the worker's connection, which Server.Stats folds into the
+// aborted stat — it is never silently dropped.
+func (cp *cgiPool) handle(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
+	m := cp.s.m
+	size, ok := parseCGISize(string(req.Params))
+	if !ok {
+		size = 1
 	}
-	w := cp.idle[len(cp.idle)-1]
-	cp.idle = cp.idle[:len(cp.idle)-1]
-	return w
-}
+	m.Host.Use(p, cgiRequestWork)
 
-func (cp *cgiPool) release(w *cgiWorker) {
-	cp.idle = append(cp.idle, w)
-	cp.wait.Wake(1)
+	if cp.s.cfg.Kind.Lite() {
+		agg := cp.docsAgg.GetOrPack(p, w, size, func() []byte { return cgiDoc(size) })
+		req.Reply(p, agg, 0)
+		return
+	}
+	raw := cp.docsRaw.GetOrGen(w, size, func() []byte { return cgiDoc(size) })
+	req.ReplyBytes(p, raw, 0)
 }
 
 // CGIDocPath names a dynamic document of n bytes.
@@ -104,82 +97,32 @@ func cgiDoc(n int64) []byte {
 	return d
 }
 
-// run is the worker's main loop: read a request line, produce the document
-// on the response pipe.
-func (w *cgiWorker) run(p *sim.Proc) {
-	m := w.s.m
-	line := make([]byte, 0, 64)
-	buf := make([]byte, 64)
-	for {
-		// Read one newline-terminated request.
-		for !strings.Contains(string(line), "\n") {
-			n, err := m.ReadPOSIX(p, w.proc, w.reqR, buf)
-			if err != nil {
-				return // server shut the pipe
-			}
-			line = append(line, buf[:n]...)
-		}
-		idx := strings.IndexByte(string(line), '\n')
-		path := string(line[:idx])
-		line = append(line[:0], line[idx+1:]...)
-
-		size, ok := parseCGISize(path)
-		if !ok {
-			size = 1
-		}
-		m.Host.Use(p, cgiRequestWork)
-
-		if w.s.cfg.Kind.Lite() {
-			// The caching IO-Lite CGI program: the document lives in the
-			// worker's own buffer pool (its ACL isolates it until the pipe
-			// transfer grants the server access, §3.10); repeat requests
-			// reuse the same immutable buffers, so even TCP checksums stay
-			// cached downstream. IOL_write on the pipe descriptor is the
-			// same call the server uses on files and sockets.
-			agg, hit := w.docsAgg[size]
-			if !hit {
-				agg = core.PackBytes(p, w.proc.Pool, cgiDoc(size))
-				w.docsAgg[size] = agg
-			}
-			m.IOLWrite(p, w.proc, w.respW, agg.Clone())
-		} else {
-			// Conventional FastCGI: the document crosses the pipe by copy
-			// (once in, once out) and will be copied again into socket
-			// buffers by the server.
-			doc, hit := w.docsRaw[size]
-			if !hit {
-				doc = cgiDoc(size)
-				w.docsRaw[size] = doc
-			}
-			m.Host.Use(p, m.Costs.Syscall)
-			m.WritePOSIX(p, w.proc, w.respW, []byte(fmt.Sprintf("%d\n", size)))
-			m.WritePOSIX(p, w.proc, w.respW, doc)
-		}
-	}
-}
-
-// serveCGI forwards the request to a worker and relays its document to the
-// client on connection descriptor cfd. It reports false when the response
-// could not be fully delivered (worker or client write error).
+// serveCGI forwards the request through the fcgi pool and relays the
+// response document to the client on connection descriptor cfd. It
+// reports false when the response could not be fully delivered — a
+// worker-side failure (the mux surfaces broken pipes as errors) or a
+// client write error.
 func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
-	w := s.cgi.acquire(p)
-	defer s.cgi.release(w)
-
-	s.m.WritePOSIX(p, s.proc, w.reqW, []byte(path+"\n"))
+	resp, err := s.cgi.pool.Do(p, fcgi.Request{Params: []byte(path)})
+	if err != nil {
+		return false
+	}
 
 	if s.cfg.Kind.Lite() {
-		// kernel.MaxIO: take the worker's whole queued aggregate.
-		body, err := s.m.IOLRead(p, s.proc, w.respR, kernel.MaxIO)
-		if err != nil {
-			return false
+		// The worker's sealed buffers arrived by reference; prepend a
+		// freshly generated response header and IOL_write the aggregate
+		// to the socket — the same call a file or pipe target would take.
+		body := resp.Body
+		if body == nil {
+			body = core.NewAgg()
 		}
-		hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(body.Len()))
-		resp := core.PackBytes(p, s.proc.Pool, hdr)
-		resp.Concat(body)
 		n := int64(body.Len())
+		hdr := FormatResponseHeader(s.cfg.Kind.String(), n)
+		out := core.PackBytes(p, s.proc.Pool, hdr)
+		out.Concat(body)
 		body.Release()
-		if err := s.m.IOLWrite(p, s.proc, cfd, resp); err != nil {
-			resp.Release()
+		if err := s.m.IOLWrite(p, s.proc, cfd, out); err != nil {
+			out.Release()
 			return false
 		}
 		s.bytesBody += n
@@ -187,34 +130,17 @@ func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
 		return true
 	}
 
-	// Baseline: read the length line, then stream the document.
-	var head []byte
-	tmp := make([]byte, 16384)
-	for !strings.Contains(string(head), "\n") {
-		n, err := s.m.ReadPOSIX(p, s.proc, w.respR, tmp)
-		if err != nil {
-			return false
-		}
-		head = append(head, tmp[:n]...)
-	}
-	idx := strings.IndexByte(string(head), '\n')
-	size, _ := strconv.ParseInt(string(head[:idx]), 10, 64)
-	body := append([]byte(nil), head[idx+1:]...)
-	for int64(len(body)) < size {
-		n, err := s.m.ReadPOSIX(p, s.proc, w.respR, tmp)
-		if err != nil {
-			break
-		}
-		body = append(body, tmp[:n]...)
-	}
-	hdr := FormatResponseHeader(s.cfg.Kind.String(), size)
+	// Baseline: the document crossed the pipe by copy; send it with the
+	// conventional copying writes.
+	body := resp.Bytes
+	hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(len(body)))
 	if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
 		return false
 	}
 	if _, err := s.m.WritePOSIX(p, s.proc, cfd, body); err != nil {
 		return false
 	}
-	s.bytesBody += size
-	s.bytesTotal += size + int64(len(hdr))
+	s.bytesBody += int64(len(body))
+	s.bytesTotal += int64(len(body) + len(hdr))
 	return true
 }

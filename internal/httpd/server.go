@@ -71,10 +71,15 @@ type Config struct {
 	Machine  *kernel.Machine
 	Listener *netsim.Listener
 	// CGI serves every request through a FastCGI-style worker instead of
-	// the static file path (§5.3).
+	// the static file path (§5.3). Workers ride the internal/fcgi
+	// record-multiplexing subsystem: one pipe pair per worker, many
+	// in-flight requests per pipe pair.
 	CGI bool
 	// CGIWorkers is the FastCGI worker pool size (default 8).
 	CGIWorkers int
+	// CGIDepth is each worker's mux depth — concurrent requests
+	// multiplexed over one worker's pipe pair (default 4).
+	CGIDepth int
 }
 
 // openEntry is one slot of the server's open-FD cache: the descriptor the
@@ -122,7 +127,11 @@ func NewServer(cfg Config) *Server {
 		if n <= 0 {
 			n = 8
 		}
-		s.cgi = newCGIPool(s, n)
+		d := cfg.CGIDepth
+		if d <= 0 {
+			d = 4
+		}
+		s.cgi = newCGIPool(s, n, d)
 	}
 	s.m.Eng.Go("httpd.accept", s.acceptLoop)
 	return s
@@ -139,8 +148,13 @@ func (s *Server) PrimeOpen(path string, f *fsim.File) {
 }
 
 // Stats reports requests served, body/total bytes sent, and responses
-// aborted by a write error (client gone mid-response): aborted responses
-// count toward requests but not toward the byte totals.
+// aborted by a write error: aborted responses count toward requests but
+// not toward the byte totals. The abort count covers both sides of the
+// data path: client write errors (client gone mid-response), and CGI
+// worker pipe write errors — the worker's EPIPE is counted on its fcgi
+// connection and surfaces through the mux as a failed request, so it
+// lands here instead of being silently dropped as the old ad-hoc worker
+// loop did.
 func (s *Server) Stats() (requests, bodyBytes, totalBytes, aborted int64) {
 	return s.requests, s.bytesBody, s.bytesTotal, s.aborted
 }

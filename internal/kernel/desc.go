@@ -52,6 +52,10 @@ const (
 	// KindObject is a sealed in-kernel buffer aggregate behind an fd
 	// (NewAggDesc) — a memfd-style object servers splice from.
 	KindObject
+	// KindDevice is a virtual device descriptor (NewNullDesc's /dev/null
+	// sink, NewTeeDesc's stream duplicator) — kernel-internal endpoints
+	// with no backing file, pipe, or socket.
+	KindDevice
 )
 
 func (k DescKind) String() string {
@@ -66,6 +70,8 @@ func (k DescKind) String() string {
 		return "listener"
 	case KindObject:
 		return "object"
+	case KindDevice:
+		return "device"
 	}
 	return "unknown"
 }
