@@ -7,6 +7,7 @@
 //	webbench -fig 3          # one figure
 //	webbench -fig proxy      # the reverse-proxy tier comparison
 //	webbench -fig fcgi       # the fcgi worker-pool scaling study
+//	webbench -fig fcginet    # fcgi worker placement: the LAN-tax study
 //	webbench -fig all -quick # every figure, reduced point set
 package main
 
@@ -20,25 +21,26 @@ import (
 )
 
 var figures = map[string]func(experiments.Options) *experiments.Table{
-	"3":     experiments.Fig3,
-	"4":     experiments.Fig4,
-	"5":     experiments.Fig5,
-	"6":     experiments.Fig6,
-	"7":     experiments.Fig7,
-	"8":     experiments.Fig8,
-	"9":     experiments.Fig9,
-	"10":    experiments.Fig10,
-	"11":    experiments.Fig11,
-	"12":    experiments.Fig12,
-	"13":    experiments.Fig13,
-	"proxy": experiments.FigProxy,
-	"fcgi":  experiments.FigFCGI,
+	"3":       experiments.Fig3,
+	"4":       experiments.Fig4,
+	"5":       experiments.Fig5,
+	"6":       experiments.Fig6,
+	"7":       experiments.Fig7,
+	"8":       experiments.Fig8,
+	"9":       experiments.Fig9,
+	"10":      experiments.Fig10,
+	"11":      experiments.Fig11,
+	"12":      experiments.Fig12,
+	"13":      experiments.Fig13,
+	"proxy":   experiments.FigProxy,
+	"fcgi":    experiments.FigFCGI,
+	"fcginet": experiments.FigFCGINet,
 }
 
-var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi"}
+var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi", "fcginet"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', or 'all'")
+	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
@@ -51,7 +53,7 @@ func main() {
 	names := figureOrder
 	if *fig != "all" {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, or all)\n", *fig)
+			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, fcginet, or all)\n", *fig)
 			os.Exit(2)
 		}
 		names = []string{*fig}

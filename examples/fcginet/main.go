@@ -1,0 +1,57 @@
+// FCGI-Net: the pluggable fcgi transport layer measured end to end — the
+// LAN-tax study. The identical worker pool (4 workers, mux depth 8, a
+// 16 KB document, a 400 µs simulated backend wait per request) runs over
+// each transport the pool supports, in both payload modes:
+//
+//   - pipe: PR 3's wiring — one pipe pair per worker on the server
+//     machine. Ref mode passes sealed aggregates by reference: zero
+//     payload copies, framing only.
+//
+//   - sock-local: the same machine, but records ride loopback TCP. Ref
+//     payloads still cross by reference; the cost is the protocol path —
+//     per-segment packet work, interrupts, early demux, checksums — all
+//     on the one CPU.
+//
+//   - sock-remote: workers as processes on a separate machine across a
+//     1 Gb/s LAN link. The worker tier gets its own CPU, but sealed
+//     aggregates cannot cross machines by reference: ref-requested
+//     payloads are charged as copies exactly once, at the machine
+//     boundary, and the wire joins the path.
+//
+// Run it with:
+//
+//	go run ./examples/fcginet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/experiments"
+)
+
+func main() {
+	fmt.Println("4 FastCGI workers, mux depth 8, 16 KB documents, 400 µs backend wait per request")
+	fmt.Println("(same pool, same workload — only the worker transport changes)")
+	fmt.Println()
+
+	for _, placement := range experiments.Placements {
+		for _, ref := range []bool{false, true} {
+			r := experiments.RunFCGINet(experiments.FCGINetParams{
+				Placement: placement,
+				Workers:   4,
+				Depth:     8,
+				Ref:       ref,
+				Warmup:    300 * time.Millisecond,
+				Measure:   2 * time.Second,
+			})
+			fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%)\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("pipes charge framing only in ref mode; loopback TCP adds the per-packet")
+	fmt.Println("protocol path; the machine boundary adds exactly one copy per payload byte")
+	fmt.Println("(and buys the worker tier its own CPU) — the LAN tax, itemized.")
+}

@@ -136,17 +136,25 @@ func (c *Cache) slice(p *sim.Proc, costs *sim.CostModel, s core.Slice) PartialSu
 	return sum
 }
 
-// Aggregate returns the finished Internet checksum of the aggregate's
-// contents, assuming they start at even offset (e.g. a TCP payload). Slice
-// sums come from the cache when possible; only missed slices cost CPU time.
-func (c *Cache) Aggregate(p *sim.Proc, costs *sim.CostModel, a *core.Agg) uint16 {
+// Partial returns the un-complemented partial sum of the aggregate's
+// contents (even-offset normalized) — the composable form Aggregate
+// finishes. Integrity layers that fold a stream of reads into one running
+// checksum Combine Partials across calls. Slice sums come from the cache
+// when possible; only missed slices cost CPU time.
+func (c *Cache) Partial(p *sim.Proc, costs *sim.CostModel, a *core.Agg) PartialSum {
 	var acc PartialSum
 	off := 0
 	for _, s := range a.Slices() {
 		acc = Combine(acc, c.slice(p, costs, s), off)
 		off += s.Len
 	}
-	return Finish(acc)
+	return acc
+}
+
+// Aggregate returns the finished Internet checksum of the aggregate's
+// contents, assuming they start at even offset (e.g. a TCP payload).
+func (c *Cache) Aggregate(p *sim.Proc, costs *sim.CostModel, a *core.Agg) uint16 {
+	return Finish(c.Partial(p, costs, a))
 }
 
 // AggregateNoCache computes the checksum touching every byte, charging full

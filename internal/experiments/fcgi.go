@@ -90,13 +90,7 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 	// ACL'd pool; the conventional worker keeps private bytes).
 	aggs := fcgi.NewAggCache()
 	raws := fcgi.NewRawCache()
-	gen := func(n int64) []byte {
-		d := make([]byte, n)
-		for i := range d {
-			d[i] = byte(i*13 + 5)
-		}
-		return d
-	}
+	gen := fcgiDoc
 	pool := fcgi.NewWorkerPool(fcgi.PoolConfig{
 		Machine: m,
 		Server:  srv,
@@ -154,6 +148,17 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 	eng.Run()
 	res.Failures = failed
 	return res
+}
+
+// fcgiDoc deterministically generates the n-byte document both fcgi
+// experiments serve — one pattern, so RunFCGI and RunFCGINet measure the
+// same workload by construction.
+func fcgiDoc(n int64) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i*13 + 5)
+	}
+	return d
 }
 
 // fcgiFigPoints is the worker-count x-axis of the scaling figure.

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"iolite/internal/fcgi"
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+)
+
+// The fcgi-net experiment: the LAN-tax study the transport layer exists
+// for. The same worker pool and the same workload as RunFCGI run over
+// each transport the pool supports — in-machine pipe pairs, loopback TCP
+// on the server machine, and TCP to workers on a separate machine — in
+// both payload modes. Three effects separate the placements:
+//
+//   - pipe → socket ("sock-local"): every record now rides the TCP
+//     protocol path — per-segment packet work, interrupts, early demux,
+//     checksums — on the same CPU. Reference payloads still cross with
+//     zero copy charge.
+//   - socket-local → socket-remote: the worker tier gets its own CPU
+//     (scale-out), but sealed aggregates cannot cross machines by
+//     reference: ref-requested payloads degrade to exactly one charged
+//     copy at the machine boundary, and the wire's bandwidth and delay
+//     join the path.
+//   - copy vs ref: conventional payloads additionally pay the read-side
+//     copy on every placement, and the staging copy on pipes.
+
+// FCGINetPlacement names a worker placement.
+type FCGINetPlacement string
+
+// The measured placements.
+const (
+	PlacePipe       FCGINetPlacement = "pipe"
+	PlaceSockLocal  FCGINetPlacement = "sock-local"
+	PlaceSockRemote FCGINetPlacement = "sock-remote"
+)
+
+// Placements lists the placements in figure order.
+var Placements = []FCGINetPlacement{PlacePipe, PlaceSockLocal, PlaceSockRemote}
+
+// FCGINetParams describes one fcgi transport run.
+type FCGINetParams struct {
+	// Placement selects the worker transport (default pipe).
+	Placement FCGINetPlacement
+	// Workers is the pool size N; Depth is the per-worker mux depth.
+	Workers int
+	Depth   int
+	// Requesters is the closed-loop request population M (default
+	// Workers×Depth — every mux slot occupied).
+	Requesters int
+	// DocBytes sizes the response document (default 16 KB).
+	DocBytes int64
+	// AppDelay is the per-request off-CPU wait the app models (default
+	// 400 µs).
+	AppDelay time.Duration
+	// Ref requests reference-mode response payloads (degraded to the
+	// boundary copy on sock-remote).
+	Ref bool
+
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+// FCGINetResult is one run's outcome.
+type FCGINetResult struct {
+	Label string
+	// KReqPerSec is completed requests per second, in thousands.
+	KReqPerSec float64
+	Requests   int64
+	Failures   int64
+	// CopiedMB is the copy work charged during measurement across every
+	// machine in the topology — the LAN-tax meter: ref/pipe ≈ framing,
+	// ref/sock-remote ≈ one payload copy, copy modes ≥ two.
+	CopiedMB float64
+	// CPUUtil is the server machine's CPU utilization; WorkerCPUUtil is
+	// the worker machine's (equal to CPUUtil for on-machine placements).
+	CPUUtil       float64
+	WorkerCPUUtil float64
+}
+
+// RunFCGINet executes one fcgi transport experiment.
+func RunFCGINet(fp FCGINetParams) FCGINetResult {
+	if fp.Placement == "" {
+		fp.Placement = PlacePipe
+	}
+	if fp.Workers <= 0 {
+		fp.Workers = 4
+	}
+	if fp.Depth <= 0 {
+		fp.Depth = 8
+	}
+	if fp.Requesters <= 0 {
+		fp.Requesters = fp.Workers * fp.Depth
+	}
+	if fp.DocBytes == 0 {
+		fp.DocBytes = 16 << 10
+	}
+	if fp.AppDelay == 0 {
+		fp.AppDelay = 400 * time.Microsecond
+	}
+	if fp.Warmup == 0 {
+		fp.Warmup = 300 * time.Millisecond
+	}
+	if fp.Measure == 0 {
+		fp.Measure = 1500 * time.Millisecond
+	}
+
+	eng := sim.New()
+	costs := sim.DefaultCosts()
+	m := kernel.NewMachine(eng, costs, kernel.Config{})
+	srv := m.NewProcess("fcgi-srv", 2<<20)
+
+	var tr fcgi.Transport
+	wm := m
+	switch fp.Placement {
+	case PlacePipe:
+		tr = fcgi.NewPipeTransport(m, srv, fp.Ref, 0)
+	case PlaceSockLocal:
+		tr = fcgi.NewLoopbackTransport(m, srv, fp.Ref, 0)
+	case PlaceSockRemote:
+		tr, wm = fcgi.NewLANTransport(m, srv, fp.Ref, 0, "wkr")
+	default:
+		panic("experiments: unknown placement " + string(fp.Placement))
+	}
+
+	// The worker app, identical to RunFCGI's: a caching document
+	// generator in the worker's own ACL'd pool (ref) or private memory
+	// (copy), serving the shared fcgiDoc pattern.
+	aggs := fcgi.NewAggCache()
+	raws := fcgi.NewRawCache()
+	gen := fcgiDoc
+	pool := fcgi.NewWorkerPool(fcgi.PoolConfig{
+		Machine:   m,
+		Server:    srv,
+		Workers:   fp.Workers,
+		Depth:     fp.Depth,
+		Ref:       fp.Ref,
+		Transport: tr,
+		Respawn:   true,
+		Name:      "fw",
+		OnRetire: func(w *fcgi.Worker) {
+			aggs.Drop(w)
+			raws.Drop(w)
+		},
+		Handler: func(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
+			w.M.Host.Use(p, 20*time.Microsecond) // request parse/dispatch work
+			p.Sleep(fp.AppDelay)                 // the backend wait
+			if fp.Ref {
+				agg := aggs.GetOrPack(p, w, fp.DocBytes, func() []byte { return gen(fp.DocBytes) })
+				req.Reply(p, agg, 0)
+				return
+			}
+			raw := raws.GetOrGen(w, fp.DocBytes, func() []byte { return gen(fp.DocBytes) })
+			req.ReplyBytes(p, raw, 0)
+		},
+	})
+
+	end := sim.Time(fp.Warmup + fp.Measure)
+	params := []byte(fmt.Sprintf("/doc/%d", fp.DocBytes))
+	var done, failed int64
+	for i := 0; i < fp.Requesters; i++ {
+		eng.Go(fmt.Sprintf("req%d", i), func(p *sim.Proc) {
+			for p.Now() < end {
+				resp, err := pool.Do(p, fcgi.Request{Params: params})
+				if err != nil {
+					failed++
+					return
+				}
+				resp.Release()
+				done++
+			}
+		})
+	}
+
+	mode := "copy"
+	if fp.Ref {
+		mode = "ref"
+	}
+	res := FCGINetResult{Label: fmt.Sprintf("%s %s w=%d d=%d", fp.Placement, mode, fp.Workers, fp.Depth)}
+	var warmDone int64
+	eng.At(sim.Time(fp.Warmup), func() {
+		warmDone = done
+		costs.ResetMeter()
+		m.CPU().ResetStats()
+		if wm != m {
+			wm.CPU().ResetStats()
+		}
+	})
+	eng.At(end, func() {
+		res.Requests = done - warmDone
+		res.KReqPerSec = float64(res.Requests) / fp.Measure.Seconds() / 1e3
+		res.CopiedMB = float64(costs.MeterCopiedBytes()) / (1 << 20)
+		res.CPUUtil = m.CPU().Utilization()
+		res.WorkerCPUUtil = wm.CPU().Utilization()
+	})
+	eng.Run()
+	res.Failures = failed
+	return res
+}
+
+// fcgiNetFigPoints is the worker-count x-axis.
+func fcgiNetFigPoints(quick bool) []int {
+	if quick {
+		return []int{2, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// FigFCGINet — the LAN-tax figure: completed requests per second versus
+// worker count for every placement × payload mode, at mux depth 8. The
+// notes carry the charged copy volume that explains the ordering: pipes
+// charge framing only in ref mode; a local socket adds per-packet
+// protocol work but still zero payload copies; a remote socket buys a
+// second CPU at the price of the boundary copy (ref) or two copies plus
+// the wire (copy).
+func FigFCGINet(opt Options) *Table {
+	t := &Table{
+		Title:  "FCGI-Net: worker placement, copy vs ref records (kreq/s) — the LAN tax",
+		XLabel: "workers",
+		Columns: []string{
+			"pipe copy", "pipe ref",
+			"sock-local copy", "sock-local ref",
+			"sock-remote copy", "sock-remote ref",
+		},
+	}
+	warm, meas := 300*time.Millisecond, 1500*time.Millisecond
+	if opt.Quick {
+		warm, meas = 200*time.Millisecond, 750*time.Millisecond
+	}
+	points := fcgiNetFigPoints(opt.Quick)
+	notesAt := points[len(points)-1]
+	if len(points) > 2 {
+		notesAt = 4
+	}
+	for _, n := range points {
+		row := Row{Label: fmt.Sprintf("%d", n)}
+		for _, placement := range Placements {
+			for _, ref := range []bool{false, true} {
+				r := RunFCGINet(FCGINetParams{
+					Placement: placement,
+					Workers:   n,
+					Ref:       ref,
+					Warmup:    warm,
+					Measure:   meas,
+				})
+				opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f)",
+					r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil)
+				row.Values = append(row.Values, r.KReqPerSec)
+				if n == notesAt {
+					t.Notes = append(t.Notes, fmt.Sprintf(
+						"%s: copied %.2f MB, cpu %.2f (worker machine %.2f)",
+						r.Label, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil))
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"16KB docs, 400µs app wait, depth 8, M = workers × depth closed-loop requesters",
+		"sock-local rides loopback TCP on the server machine; sock-remote a 1 Gb/s, 50µs LAN link",
+		"ref payloads cross pipes and local sockets by reference (copied MB ≈ framing);",
+		"at the machine boundary they are charged as copies exactly once — the LAN tax")
+	return t
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// FCGI-Net benchmarks: one run per placement × payload mode, reporting
+// throughput and the charged copy work as metrics so the CI bench job
+// (BENCH_fcgi_net.json) tracks the LAN tax numerically alongside the
+// pipe-transport numbers in BENCH_fcgi.json.
+//
+//	go test ./internal/experiments -bench=FCGINet -benchtime=1x
+
+func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := RunFCGINet(FCGINetParams{
+			Placement: placement,
+			Ref:       ref,
+			Warmup:    200 * time.Millisecond,
+			Measure:   time.Second,
+		})
+		if i == 0 {
+			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil)
+			b.ReportMetric(r.KReqPerSec, "kreq/s")
+			b.ReportMetric(r.CopiedMB, "copiedMB")
+			b.ReportMetric(r.CPUUtil*100, "cpu_pct")
+			b.ReportMetric(r.WorkerCPUUtil*100, "wkr_cpu_pct")
+		}
+	}
+}
+
+// BenchmarkFCGINetPipeCopy / PipeRef — the in-machine baseline.
+func BenchmarkFCGINetPipeCopy(b *testing.B) { benchFCGINet(b, PlacePipe, false) }
+func BenchmarkFCGINetPipeRef(b *testing.B)  { benchFCGINet(b, PlacePipe, true) }
+
+// BenchmarkFCGINetLocalCopy / LocalRef — loopback TCP: the protocol tax
+// without the boundary.
+func BenchmarkFCGINetLocalCopy(b *testing.B) { benchFCGINet(b, PlaceSockLocal, false) }
+func BenchmarkFCGINetLocalRef(b *testing.B)  { benchFCGINet(b, PlaceSockLocal, true) }
+
+// BenchmarkFCGINetRemoteCopy / RemoteRef — workers on their own machine:
+// scale-out against the boundary copy and the wire.
+func BenchmarkFCGINetRemoteCopy(b *testing.B) { benchFCGINet(b, PlaceSockRemote, false) }
+func BenchmarkFCGINetRemoteRef(b *testing.B)  { benchFCGINet(b, PlaceSockRemote, true) }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// fcgiNetQuick returns one quick RunFCGINet result.
+func fcgiNetQuick(placement FCGINetPlacement, ref bool) FCGINetResult {
+	return RunFCGINet(FCGINetParams{
+		Placement: placement,
+		Workers:   2,
+		Depth:     4,
+		Ref:       ref,
+		Warmup:    150 * time.Millisecond,
+		Measure:   600 * time.Millisecond,
+	})
+}
+
+// TestFCGINetLANTaxShapes pins the transport study's qualitative claims:
+// every placement serves without failures; pipes beat sockets (the
+// protocol path is the first installment of the LAN tax); and the copy
+// meter tells the boundary story — ref mode charges ~nothing on-machine,
+// exactly the payload volume once it crosses to a remote machine, and
+// copy mode at least twice that everywhere.
+func TestFCGINetLANTaxShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run transport study")
+	}
+	results := map[FCGINetPlacement]map[bool]FCGINetResult{}
+	for _, placement := range Placements {
+		results[placement] = map[bool]FCGINetResult{}
+		for _, ref := range []bool{false, true} {
+			r := fcgiNetQuick(placement, ref)
+			if r.Failures != 0 {
+				t.Fatalf("%s: %d failed requests", r.Label, r.Failures)
+			}
+			if r.Requests == 0 {
+				t.Fatalf("%s: no requests completed", r.Label)
+			}
+			results[placement][ref] = r
+		}
+	}
+
+	pipeRef := results[PlacePipe][true]
+	localRef := results[PlaceSockLocal][true]
+	remoteRef := results[PlaceSockRemote][true]
+	remoteCopy := results[PlaceSockRemote][false]
+
+	// The protocol path costs throughput: pipes beat sockets in ref mode.
+	if pipeRef.KReqPerSec <= localRef.KReqPerSec {
+		t.Errorf("pipe ref %.1f kreq/s not above sock-local ref %.1f — no transport tax?",
+			pipeRef.KReqPerSec, localRef.KReqPerSec)
+	}
+	// Copy-meter ordering: pipe ref ≈ framing ≪ remote ref ≈ payload once
+	// < remote copy ≥ payload twice.
+	if pipeRef.CopiedMB*20 > remoteRef.CopiedMB {
+		t.Errorf("pipe ref copied %.2f MB vs remote ref %.2f MB; want ≥20x separation (the boundary copy)",
+			pipeRef.CopiedMB, remoteRef.CopiedMB)
+	}
+	if localRef.CopiedMB*20 > remoteRef.CopiedMB {
+		t.Errorf("sock-local ref copied %.2f MB vs remote ref %.2f MB; local sockets must stay zero-copy",
+			localRef.CopiedMB, remoteRef.CopiedMB)
+	}
+	if remoteCopy.CopiedMB < 1.8*remoteRef.CopiedMB {
+		t.Errorf("remote copy %.2f MB vs remote ref %.2f MB; copy mode must pay both sides of the boundary",
+			remoteCopy.CopiedMB, remoteRef.CopiedMB)
+	}
+	// The remote worker machine actually carries work.
+	if remoteRef.WorkerCPUUtil <= 0 {
+		t.Error("remote placement shows an idle worker machine")
+	}
+}
+
+// TestFigFCGINetTable checks the figure assembles with the right axes:
+// every placement × mode at ≥2 worker counts, all serving.
+func TestFigFCGINetTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure")
+	}
+	tbl := FigFCGINet(Options{Quick: true})
+	if len(tbl.Rows) < 2 || len(tbl.Columns) != 6 {
+		t.Fatalf("table %dx%d, want ≥2 rows x 6 cols", len(tbl.Rows), len(tbl.Columns))
+	}
+	for _, row := range tbl.Rows {
+		if len(row.Values) != len(tbl.Columns) {
+			t.Fatalf("row %s has %d values for %d columns", row.Label, len(row.Values), len(tbl.Columns))
+		}
+		for i, v := range row.Values {
+			if v <= 0 {
+				t.Errorf("row %s col %s: %.2f kreq/s", row.Label, tbl.Columns[i], v)
+			}
+		}
+	}
+}

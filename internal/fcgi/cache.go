@@ -50,6 +50,16 @@ func (c *AggCache) GetOrPack(p *sim.Proc, w *Worker, key int64, gen func() []byt
 	return fresh
 }
 
+// Drop releases every aggregate cached for w and forgets the worker —
+// hook it to PoolConfig.OnRetire, or a respawned worker's predecessor
+// keeps its sealed documents pinned in the dead process's pool forever.
+func (c *AggCache) Drop(w *Worker) {
+	for _, agg := range c.docs[w] {
+		agg.Release()
+	}
+	delete(c.docs, w)
+}
+
 // RawCache is AggCache's conventional sibling: per-worker documents as
 // plain private bytes (the baseline FastCGI program's shape — no
 // refcounts, no ACLs, every send copies). Concurrent misses are benign
@@ -63,6 +73,10 @@ type RawCache struct {
 func NewRawCache() *RawCache {
 	return &RawCache{docs: make(map[*Worker]map[int64][]byte)}
 }
+
+// Drop forgets w's documents (the bytes are plain garbage-collected
+// memory; this just keeps the map from growing across respawns).
+func (c *RawCache) Drop(w *Worker) { delete(c.docs, w) }
 
 // GetOrGen returns the cached bytes for key in w's cache, generating
 // them on a miss.

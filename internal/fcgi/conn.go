@@ -10,9 +10,10 @@ import (
 
 // lock is a FIFO mutex for simulated processes. WriteRecord holds it
 // across a whole record so that records from concurrent requests
-// interleave on the pipe at record granularity, never mid-record (the
-// pipe admits large writes piecewise, so an unlocked writer that blocks
-// on a full FIFO would corrupt the framing).
+// interleave on the channel at record granularity, never mid-record (the
+// pipe and socket both admit large writes piecewise, so an unlocked
+// writer that blocks on a full FIFO or send window would corrupt the
+// framing).
 type lock struct {
 	held bool
 	wait sim.WaitQueue
@@ -30,57 +31,126 @@ func (l *lock) release() {
 	l.wait.Wake(1)
 }
 
-// Conn frames records over one pipe pair: rfd is the inbound record
-// stream, wfd the outbound one, both fds in process pr's table. Each
-// direction independently follows its pipe's mode — on the worker side of
-// the standard wiring the request pipe is copy mode (requests are tiny)
-// while the response pipe is reference mode, and the Conn adapts record
-// payloads per direction automatically.
+// WireMode selects how one direction of a Conn carries record payloads.
+// It is the capability half of the transport abstraction: a Transport
+// hands the pool fd pairs plus the WireMode each direction supports, and
+// the Conn frames accordingly.
+type WireMode int
+
+const (
+	// WireCopy serializes records into the descriptor's byte stream with
+	// conventional copy semantics: payload bytes are charged into the
+	// kernel on write and out again on read (and an aggregate payload
+	// pays a staging copy first — the conventional wire format cannot
+	// gather from references).
+	WireCopy WireMode = iota
+	// WireRef frames each record as one atomic buffer aggregate on a
+	// reference-mode pipe (§4.4): an 8-byte header generated in the
+	// sender's pool plus the sealed payload by reference. Zero copy
+	// charge for payload bytes; one pipe aggregate is exactly one record.
+	WireRef
+	// WireRefStream frames aggregate records over a segmenting stream — a
+	// reference-mode socket between two processes on the same machine.
+	// Payloads still cross by reference with zero copy charge, but the
+	// transport delivers MSS-sized pieces, so records are reassembled
+	// from the aggregate stream instead of arriving atomically.
+	WireRefStream
+	// WireBoundary crosses a machine boundary. Sealed aggregates cannot
+	// be passed by reference to another machine, so the sender gathers
+	// the payload straight from its slices into the socket send buffer —
+	// exactly one charged copy per payload byte, the unavoidable boundary
+	// copy — and the receiver reassembles records from early-demultiplexed
+	// aggregates with no further copy charge (§3.6: packet payloads land
+	// in IO-Lite buffers the process is granted access to).
+	WireBoundary
+)
+
+func (m WireMode) String() string {
+	switch m {
+	case WireCopy:
+		return "copy"
+	case WireRef:
+		return "ref"
+	case WireRefStream:
+		return "ref-stream"
+	case WireBoundary:
+		return "boundary"
+	}
+	return "unknown"
+}
+
+// refWrite reports whether this direction writes aggregate records.
+func (m WireMode) refWrite() bool { return m == WireRef || m == WireRefStream }
+
+// streamRead reports whether inbound records are reassembled from an
+// aggregate stream rather than arriving atomically or as a byte FIFO.
+func (m WireMode) streamRead() bool { return m == WireRefStream || m == WireBoundary }
+
+// Conn frames records over one fd pair: rfd is the inbound record stream,
+// wfd the outbound one, both fds in process pr's table (a full-duplex
+// socket channel passes the same fd twice). Each direction follows its
+// own WireMode; NewConn infers modes from the descriptors (ref pipes
+// frame by aggregate, everything else by serialized bytes) and
+// NewConnModes lets a Transport pick explicitly.
 type Conn struct {
 	m  *kernel.Machine
 	pr *kernel.Process
 	// id labels the connection (the worker index in a pool) for
 	// diagnostics; records carry only request ids, since a Conn is
-	// exactly one pipe pair.
+	// exactly one channel.
 	id int
 
-	rfd, wfd   int
-	rref, wref bool
+	rfd, wfd     int
+	rmode, wmode WireMode
 
 	wlock lock
 
-	// rbuf reassembles copy-mode records across reads; scratch is the
-	// reusable POSIX read buffer.
+	// rbuf reassembles copy-mode records across reads; rAgg reassembles
+	// stream-mode records across deliveries; scratch is the reusable
+	// POSIX read buffer.
 	rbuf    []byte
+	rAgg    *core.Agg
 	scratch []byte
 
 	recsIn, recsOut int64
 	writeErrs       int64
 }
 
-// NewConn wraps the fd pair as a record stream. The payload mode of each
-// direction is taken from the descriptor behind the fd (RefMode), so a
+// NewConn wraps the fd pair as a record stream, inferring each
+// direction's wire mode from the descriptor behind the fd (RefMode): a
 // Conn over reference pipes frames by aggregate and a Conn over
 // conventional pipes frames by serialized bytes, with no configuration.
 func NewConn(m *kernel.Machine, pr *kernel.Process, rfd, wfd, id int) *Conn {
-	c := &Conn{m: m, pr: pr, rfd: rfd, wfd: wfd, id: id}
-	if d, err := pr.Desc(rfd); err == nil {
-		c.rref = d.RefMode()
+	rmode, wmode := WireCopy, WireCopy
+	if d, err := pr.Desc(rfd); err == nil && d.RefMode() {
+		rmode = WireRef
 	}
-	if d, err := pr.Desc(wfd); err == nil {
-		c.wref = d.RefMode()
+	if d, err := pr.Desc(wfd); err == nil && d.RefMode() {
+		wmode = WireRef
 	}
-	return c
+	return NewConnModes(m, pr, rfd, wfd, id, rmode, wmode)
+}
+
+// NewConnModes wraps the fd pair with explicit per-direction wire modes —
+// the constructor Transports use, since only the transport knows whether
+// a socket stays on-machine (WireRefStream keeps references) or crosses
+// to another one (WireBoundary must degrade to the single boundary copy).
+func NewConnModes(m *kernel.Machine, pr *kernel.Process, rfd, wfd, id int, rmode, wmode WireMode) *Conn {
+	return &Conn{m: m, pr: pr, rfd: rfd, wfd: wfd, id: id, rmode: rmode, wmode: wmode}
 }
 
 // ID returns the connection's diagnostic id.
 func (c *Conn) ID() int { return c.id }
 
 // RefMode reports whether outbound payloads travel by reference.
-func (c *Conn) RefMode() bool { return c.wref }
+func (c *Conn) RefMode() bool { return c.wmode.refWrite() }
+
+// WriteMode and ReadMode report the per-direction wire modes.
+func (c *Conn) WriteMode() WireMode { return c.wmode }
+func (c *Conn) ReadMode() WireMode  { return c.rmode }
 
 // Stats reports records received, records sent, and write errors (the
-// peer's end of the outbound pipe was gone — the simulated EPIPE).
+// peer's end of the outbound channel was gone — the simulated EPIPE).
 func (c *Conn) Stats() (in, out, writeErrs int64) {
 	return c.recsIn, c.recsOut, c.writeErrs
 }
@@ -99,7 +169,7 @@ func (c *Conn) packHeader(p *sim.Proc, hdr []byte) *core.Agg {
 // the connection on success; on error the caller still owns it. The
 // record's Length is derived from the payload (END records keep the
 // caller's Length, which carries the application status). An ErrClosed
-// from the pipe — the peer departed — is counted as a write error and
+// from the channel — the peer departed — is counted as a write error and
 // returned for the caller to surface.
 func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	n := rec.payloadLen()
@@ -116,12 +186,12 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	var hdr [HeaderLen]byte
 	rec.Header.encode(hdr[:])
 
-	if c.wref {
+	if c.wmode.refWrite() {
 		out := c.packHeader(p, hdr[:])
 		if rec.Agg != nil {
 			out.Concat(rec.Agg)
 		} else if len(rec.Bytes) > 0 {
-			// Copy-payload caller on a reference pipe: the bytes are
+			// Copy-payload caller on a reference channel: the bytes are
 			// packed into pool buffers (the producer's copy, charged by
 			// PackBytes) and then travel by reference.
 			pay := core.PackBytes(p, c.pr.Pool, rec.Bytes)
@@ -140,10 +210,13 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 		return nil
 	}
 
-	// Copy mode: header then payload through the kernel FIFO. An
-	// aggregate payload is staged into contiguous bytes first (a real
-	// copy, charged) — the conventional wire format cannot carry
-	// references.
+	// Serialized modes: header then payload through the channel as
+	// bytes. WireCopy stages an aggregate payload into contiguous bytes
+	// first (a real copy, charged) — the conventional wire format cannot
+	// gather from references. WireBoundary gathers writev-style straight
+	// from the slices (aggregate walking only): the machine boundary's
+	// single charged copy per payload byte is the write into the socket
+	// send buffer itself, below.
 	if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, hdr[:]); err != nil {
 		c.writeErrs++
 		return err
@@ -151,8 +224,12 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	if n > 0 {
 		pay := rec.Bytes
 		if rec.Agg != nil {
+			if c.wmode == WireBoundary {
+				c.m.Host.Use(p, sim.Duration(rec.Agg.NumSlices())*c.m.Costs.AggOp)
+			} else {
+				c.m.Host.Use(p, c.m.Costs.Copy(n))
+			}
 			pay = rec.Agg.Materialize()
-			c.m.Host.Use(p, c.m.Costs.Copy(n))
 		}
 		if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, pay); err != nil {
 			c.writeErrs++
@@ -168,40 +245,110 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 
 // ReadRecord blocks for the next inbound record. io.EOF means the peer
 // closed cleanly between records; io.ErrUnexpectedEOF means it died
-// mid-record (a crashed worker); ErrProtocol means the stream is
-// corrupt. On a reference pipe each pipe aggregate is exactly one record
-// (writes are atomic), so framing is a header split away; on a copy pipe
-// records are reassembled from the byte stream.
+// mid-record (a crashed worker); ErrProtocol means the stream is corrupt.
+// On a reference pipe each pipe aggregate is exactly one record (writes
+// are atomic), so framing is a header split away; on stream modes records
+// are reassembled from aggregate deliveries; on a copy channel they are
+// reassembled from the byte stream.
 func (c *Conn) ReadRecord(p *sim.Proc) (Record, error) {
-	if c.rref {
+	switch {
+	case c.rmode == WireRef:
+		return c.readAtomicRecord(p)
+	case c.rmode.streamRead():
+		return c.readStreamRecord(p)
+	}
+	return c.readCopyRecord(p)
+}
+
+// readAtomicRecord takes one whole record per reference-pipe aggregate.
+func (c *Conn) readAtomicRecord(p *sim.Proc) (Record, error) {
+	a, err := c.m.IOLRead(p, c.pr, c.rfd, kernel.MaxIO)
+	if err != nil {
+		return Record{}, err
+	}
+	if a.Len() < HeaderLen {
+		a.Release()
+		return Record{}, ErrProtocol
+	}
+	var hb [HeaderLen]byte
+	a.ReadAt(hb[:], 0)
+	h, err := parseHeader(hb[:])
+	if err != nil {
+		a.Release()
+		return Record{}, err
+	}
+	a.DropFront(HeaderLen)
+	want := int(h.Length)
+	if h.Type == RecEnd {
+		want = 0
+	}
+	if a.Len() != want {
+		a.Release()
+		return Record{}, ErrProtocol
+	}
+	c.recsIn++
+	return Record{Header: h, Agg: a}, nil
+}
+
+// readStreamRecord reassembles one record from a segmented aggregate
+// stream (sockets deliver MSS-sized pieces; a record may span several, a
+// delivery may hold several records). The payload keeps its buffer
+// identity: on a same-machine reference socket those are the sender's
+// sealed buffers, across a machine boundary they are the receive buffers
+// early demultiplexing filled — in both cases zero copy charge here.
+func (c *Conn) readStreamRecord(p *sim.Proc) (Record, error) {
+	if err := c.fillAgg(p, HeaderLen); err != nil {
+		return Record{}, err
+	}
+	var hb [HeaderLen]byte
+	c.rAgg.ReadAt(hb[:], 0)
+	h, err := parseHeader(hb[:])
+	if err != nil {
+		return Record{}, err
+	}
+	want := int(h.Length)
+	if h.Type == RecEnd {
+		want = 0
+	}
+	// The header stays buffered until the whole record has arrived, so a
+	// peer that dies between a record's header and its payload reports
+	// io.ErrUnexpectedEOF (a torn record), never a clean end of stream.
+	if err := c.fillAgg(p, HeaderLen+want); err != nil {
+		return Record{}, err
+	}
+	c.rAgg.DropFront(HeaderLen)
+	c.recsIn++
+	if want == 0 {
+		return Record{Header: h}, nil
+	}
+	pay := c.rAgg
+	c.rAgg = pay.Split(want)
+	return Record{Header: h, Agg: pay}, nil
+}
+
+// fillAgg reads from the stream until at least n bytes are assembled.
+func (c *Conn) fillAgg(p *sim.Proc, n int) error {
+	for c.rAgg == nil || c.rAgg.Len() < n {
 		a, err := c.m.IOLRead(p, c.pr, c.rfd, kernel.MaxIO)
 		if err != nil {
-			return Record{}, err
+			if err == io.EOF && c.rAgg != nil && c.rAgg.Len() > 0 {
+				return io.ErrUnexpectedEOF
+			}
+			return err
 		}
-		if a.Len() < HeaderLen {
+		if c.rAgg == nil {
+			c.rAgg = a
+		} else {
+			c.rAgg.Concat(a)
 			a.Release()
-			return Record{}, ErrProtocol
 		}
-		var hb [HeaderLen]byte
-		a.ReadAt(hb[:], 0)
-		h, err := parseHeader(hb[:])
-		if err != nil {
-			a.Release()
-			return Record{}, err
-		}
-		a.DropFront(HeaderLen)
-		want := int(h.Length)
-		if h.Type == RecEnd {
-			want = 0
-		}
-		if a.Len() != want {
-			a.Release()
-			return Record{}, ErrProtocol
-		}
-		c.recsIn++
-		return Record{Header: h, Agg: a}, nil
 	}
+	return nil
+}
 
+// readCopyRecord reassembles one record from the conventional byte
+// stream.
+func (c *Conn) readCopyRecord(p *sim.Proc) (Record, error) {
 	if err := c.fill(p, HeaderLen); err != nil {
 		return Record{}, err
 	}
@@ -225,7 +372,8 @@ func (c *Conn) ReadRecord(p *sim.Proc) (Record, error) {
 	return Record{Header: h, Bytes: pay}, nil
 }
 
-// fill reads from the copy-mode pipe until at least n bytes are buffered.
+// fill reads from the copy-mode channel until at least n bytes are
+// buffered.
 func (c *Conn) fill(p *sim.Proc, n int) error {
 	for len(c.rbuf) < n {
 		if c.scratch == nil {
@@ -243,10 +391,17 @@ func (c *Conn) fill(p *sim.Proc, n int) error {
 	return nil
 }
 
-// Close shuts the connection down: the outbound pipe first (the peer's
+// Close shuts the connection down: the outbound end first (the peer's
 // reader drains to EOF), then the inbound side (a peer still writing gets
-// EPIPE). Safe to call from any proc on the owning process.
+// EPIPE). A full-duplex socket channel holds one fd for both directions
+// and is closed once. Safe to call from any proc on the owning process.
 func (c *Conn) Close(p *sim.Proc) {
+	if c.rAgg != nil {
+		c.rAgg.Release()
+		c.rAgg = nil
+	}
 	c.m.Close(p, c.pr, c.wfd)
-	c.m.Close(p, c.pr, c.rfd)
+	if c.rfd != c.wfd {
+		c.m.Close(p, c.pr, c.rfd)
+	}
 }

@@ -76,6 +76,7 @@ type Mux struct {
 	slots    sim.WaitQueue
 
 	err      error
+	onFail   func(error)
 	requests int64
 	failures int64
 }
@@ -100,6 +101,11 @@ func (mx *Mux) Depth() int { return mx.depth }
 // Err returns the terminal connection error, if the mux has failed.
 func (mx *Mux) Err() error { return mx.err }
 
+// OnFail registers fn to run once, when the mux breaks — the supervision
+// hook a pool uses to respawn the worker behind this connection. Set it
+// before the engine runs the mux's reader.
+func (mx *Mux) OnFail(fn func(error)) { mx.onFail = fn }
+
 // Stats reports requests issued and requests failed by a broken
 // connection or worker error.
 func (mx *Mux) Stats() (requests, failures int64) {
@@ -120,7 +126,9 @@ func (mx *Mux) allocID() uint16 {
 }
 
 // Do issues one request and blocks until its END record (or a connection
-// failure). Ownership of req.StdinAgg passes to the mux; the caller owns
+// failure). Ownership of req.StdinAgg passes to the mux — except on
+// errors matching ErrNotSent, where no record reached the worker and the
+// caller keeps ownership so it can re-route the request. The caller owns
 // the returned response (Release its Body when done).
 func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	mx.requests++
@@ -128,11 +136,11 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 		mx.slots.Wait(p)
 	}
 	if mx.err != nil {
+		// The connection broke before dispatch — possibly while this
+		// request waited for a slot, the race the pool's re-routing
+		// exists for.
 		mx.failures++
-		if req.StdinAgg != nil {
-			req.StdinAgg.Release()
-		}
-		return nil, mx.err
+		return nil, notSent(mx.err)
 	}
 	id := mx.allocID()
 	st := &stream{}
@@ -156,19 +164,26 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	if noStdin {
 		flags = FlagNoStdin
 	}
+	// A write failure anywhere below means the request never executed:
+	// the worker dispatches a request only once its PARAMS (and STDIN)
+	// streams are complete, so a partially delivered request is inert.
+	// Report it as not-sent — WriteRecord leaves ownership of the stdin
+	// aggregate with the caller on error, matching ErrNotSent's contract.
 	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecBegin, Flags: flags, ReqID: id}}); err != nil {
-		return mx.fails(req, err)
+		mx.failures++
+		return nil, notSent(err)
 	}
 	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecParams, Flags: FlagEndStream, ReqID: id}, Bytes: req.Params}); err != nil {
-		return mx.fails(req, err)
+		mx.failures++
+		return nil, notSent(err)
 	}
 	if !noStdin {
 		rec := Record{Header: Header{Type: RecStdin, Flags: FlagEndStream, ReqID: id}, Agg: req.StdinAgg, Bytes: req.Stdin}
-		req.StdinAgg = nil // ownership passed to WriteRecord
 		if err := mx.c.WriteRecord(p, rec); err != nil {
-			rec.Release()
-			return mx.fails(Request{}, err)
+			mx.failures++
+			return nil, notSent(err)
 		}
+		req.StdinAgg = nil // ownership passed to WriteRecord
 	}
 
 	resp := &Response{}
@@ -208,13 +223,9 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	}
 }
 
-// fails releases a failed request's resources and counts the failure.
-func (mx *Mux) fails(req Request, err error) (*Response, error) {
-	if req.StdinAgg != nil {
-		req.StdinAgg.Release()
-	}
-	mx.failures++
-	return nil, err
+// notSent tags err as a pre-dispatch failure (see ErrNotSent).
+func notSent(err error) error {
+	return fmt.Errorf("%w: %w", ErrNotSent, err)
 }
 
 // readLoop is the mux's reader proc: it demultiplexes inbound records to
@@ -243,8 +254,12 @@ func (mx *Mux) readLoop(p *sim.Proc) {
 }
 
 // fail marks the mux broken and wakes everyone: in-flight requests see
-// the error, slot waiters stop queueing.
+// the error, slot waiters stop queueing, and the supervision hook (if
+// any) learns the worker behind this connection is gone.
 func (mx *Mux) fail(err error) {
+	if mx.err != nil {
+		return
+	}
 	mx.err = err
 	for _, st := range mx.streams {
 		for _, rec := range st.recs {
@@ -255,6 +270,9 @@ func (mx *Mux) fail(err error) {
 		st.wait.Wake(-1)
 	}
 	mx.slots.Wake(-1)
+	if mx.onFail != nil {
+		mx.onFail(err)
+	}
 }
 
 // Close tears the connection down; the reader proc exits on the resulting

@@ -1,9 +1,9 @@
 package fcgi
 
 import (
+	"errors"
 	"fmt"
 
-	"iolite/internal/ipcsim"
 	"iolite/internal/kernel"
 	"iolite/internal/sim"
 )
@@ -12,17 +12,38 @@ import (
 type PoolConfig struct {
 	Machine *kernel.Machine
 	// Server is the process that issues requests (it holds the
-	// server-side fds of every worker's pipe pair).
+	// server-side end of every worker's channel).
 	Server *kernel.Process
 	// Workers is the number of persistent worker processes (default 4).
 	Workers int
 	// Depth is each worker's mux depth — the in-flight request cap per
 	// connection (default 8). Total pool concurrency is Workers×Depth.
 	Depth int
-	// Ref selects reference-mode response pipes: STDOUT payloads are
-	// sealed aggregates passed by reference, zero copy charge. The
-	// request pipe is always copy mode (requests are tiny).
+	// Ref requests reference-mode response payloads: STDOUT payloads are
+	// sealed aggregates passed by reference, zero copy charge. Whether
+	// the request is honored end to end is the transport's capability —
+	// a remote transport degrades payloads to the single machine-boundary
+	// copy. The request direction is always copy mode (requests are
+	// tiny).
 	Ref bool
+	// Transport supplies worker channels. Nil selects the in-machine
+	// pipe transport built from Machine/Server/Ref/WorkerMem (PR 3's
+	// wiring). A non-nil transport carries its own payload-mode
+	// configuration; keep its ref setting consistent with Ref so
+	// handlers and channels agree.
+	Transport Transport
+	// Respawn enables worker supervision: when a worker's channel
+	// breaks, the pool re-establishes it over the transport with a fresh
+	// worker process and routes new requests to the replacement.
+	// Requests in flight on the dead worker still fail — supervision
+	// restores capacity, it does not replay work.
+	Respawn bool
+	// OnRetire, when set with Respawn, runs for each worker the pool
+	// retires (its channel broke and a replacement took its slot). It is
+	// the hook per-worker handler state uses to release the dead
+	// worker's cached resources — e.g. AggCache.Drop, or sealed
+	// documents stay pinned in the dead process's pool forever.
+	OnRetire func(w *Worker)
 	// WorkerMem is each worker process's private memory (default 2 MB).
 	WorkerMem int
 	// Name prefixes worker process names (default "fcgi").
@@ -35,42 +56,79 @@ type PoolConfig struct {
 
 // Worker is one persistent worker process: its own protection domain and
 // allocation pool (the per-worker ACL isolation of §3.10 — a worker's
-// buffers are readable only by domains its pipe transfers granted), one
-// pipe pair to the server, and the server-side mux over it.
+// buffers are readable only by domains its channel transfers granted),
+// one transport channel to the server, and the server-side mux over it.
 type Worker struct {
-	ID   int
+	ID int
+	// Gen counts respawns of this worker slot (0 = the original).
+	Gen int
+	// M is the machine the worker process runs on; on remote transports
+	// it differs from the pool's server machine.
+	M    *kernel.Machine
 	Proc *kernel.Process
 
 	conn     *Conn // worker side
 	mux      *Mux  // server side
 	inflight int
+
+	// Retirement state: active counts handlers currently running in the
+	// worker, serveDone marks its serve loop exited, retire holds the
+	// pool's OnRetire hook once supervision has replaced the worker.
+	active    int
+	serveDone bool
+	retire    func(*Worker)
+}
+
+// maybeRetire runs the pool's retire hook once the worker can no longer
+// touch per-worker state: its serve loop has exited (no new handlers can
+// be dispatched) and its last in-flight handler has returned. Firing any
+// earlier would let a live handler repopulate caches the hook just
+// dropped.
+func (w *Worker) maybeRetire() {
+	if w.retire == nil || !w.serveDone || w.active != 0 {
+		return
+	}
+	fn := w.retire
+	w.retire = nil
+	fn(w)
 }
 
 // Mux returns the server-side multiplexer for this worker's connection.
 func (w *Worker) Mux() *Mux { return w.mux }
 
 // Conn returns the worker-side connection (its Stats carry the worker's
-// write errors — responses that hit a closed pipe).
+// write errors — responses that hit a closed channel).
 func (w *Worker) Conn() *Conn { return w.conn }
 
 // WorkerPool runs N persistent workers and multiplexes M ≫ N requests
-// over their pipe pairs — the generalization of the one-request-per-
-// worker CGI protocol the httpd server used to hand-roll. Do routes each
-// request to the least-loaded live worker; it starts blocking only when
-// every worker is at its mux depth, and a blocked request stays bound to
-// the worker it picked until a slot there frees.
+// over their transport channels — the generalization of the one-request-
+// per-worker CGI protocol the httpd server used to hand-roll. Do routes
+// each request to the least-loaded live worker; it starts blocking only
+// when every worker is at its mux depth, and a blocked request stays
+// bound to the worker it picked until a slot there frees — unless that
+// worker dies first, in which case the request is re-routed (it was
+// never sent, so re-routing is safe even for non-idempotent work).
 type WorkerPool struct {
-	cfg     PoolConfig
-	workers []*Worker
-	rr      int
+	cfg       PoolConfig
+	transport Transport
+	workers   []*Worker
+	rr        int
+	closed    bool
 
 	requests int64
 	failures int64
+	reroutes int64
+	respawns int64
+	// retired holds the worker-side channels of workers supervision has
+	// replaced: their write errors — including EPIPEs that in-flight
+	// handlers hit after the respawn — stay in Stats, keeping the count
+	// monotonic across respawns.
+	retired []*Conn
 }
 
-// NewWorkerPool builds the workers, their pipe pairs, muxes, and serve
-// loops. Pipe wiring happens at setup time (uncharged), like all process
-// plumbing in this repo.
+// NewWorkerPool builds the workers, their transport channels, muxes, and
+// serve loops. Channel wiring happens at setup time (uncharged), like all
+// process plumbing in this repo.
 func NewWorkerPool(cfg PoolConfig) *WorkerPool {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -87,37 +145,95 @@ func NewWorkerPool(cfg PoolConfig) *WorkerPool {
 	if cfg.Handler == nil {
 		panic("fcgi: NewWorkerPool without Handler")
 	}
-	wp := &WorkerPool{cfg: cfg}
-	m := cfg.Machine
-	respMode := ipcsim.ModeCopy
-	if cfg.Ref {
-		respMode = ipcsim.ModeRef
+	wp := &WorkerPool{cfg: cfg, transport: cfg.Transport}
+	if wp.transport == nil {
+		wp.transport = NewPipeTransport(cfg.Machine, cfg.Server, cfg.Ref, cfg.WorkerMem)
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &Worker{ID: i}
-		w.Proc = m.NewProcess(fmt.Sprintf("%s%d", cfg.Name, i), cfg.WorkerMem)
-		reqR, reqW := m.Pipe2(w.Proc, cfg.Server, ipcsim.ModeCopy)
-		respR, respW := m.Pipe2(cfg.Server, w.Proc, respMode)
-		w.conn = NewConn(m, w.Proc, reqR, respW, i)
-		w.mux = NewMux(NewConn(m, cfg.Server, respR, reqW, i), cfg.Depth)
-		handler := cfg.Handler
-		worker := w
-		m.Eng.Go(w.Proc.Name, func(p *sim.Proc) {
-			Serve(p, worker.conn, func(hp *sim.Proc, req *ServerRequest) {
-				handler(hp, worker, req)
-			})
-			// The server hung up (or the stream corrupted): close the
-			// worker's ends so the mux reader drains to EOF and fails
-			// any requests still in flight instead of hanging them.
-			worker.conn.Close(p)
-		})
-		wp.workers = append(wp.workers, w)
+		wp.workers = append(wp.workers, wp.spawn(i, 0))
 	}
 	return wp
 }
 
-// Workers returns the pool's workers (tests and per-worker state).
+// spawn connects one worker channel over the transport and starts the
+// worker's serve loop.
+func (wp *WorkerPool) spawn(idx, gen int) *Worker {
+	name := fmt.Sprintf("%s%d", wp.cfg.Name, idx)
+	if gen > 0 {
+		name = fmt.Sprintf("%s.g%d", name, gen)
+	}
+	ch := wp.transport.Connect(idx, name)
+	w := &Worker{
+		ID:   idx,
+		Gen:  gen,
+		M:    ch.WorkerM,
+		Proc: ch.WorkerProc,
+		conn: ch.WorkerConn,
+		mux:  NewMux(ch.ServerConn, wp.cfg.Depth),
+	}
+	handler := wp.cfg.Handler
+	worker := w
+	ch.WorkerM.Eng.Go(name, func(p *sim.Proc) {
+		Serve(p, worker.conn, func(hp *sim.Proc, req *ServerRequest) {
+			worker.active++
+			handler(hp, worker, req)
+			worker.active--
+			worker.maybeRetire()
+		})
+		// The server hung up (or the stream corrupted): close the
+		// worker's end so the mux reader drains to EOF and fails any
+		// requests still in flight instead of hanging them.
+		worker.conn.Close(p)
+		worker.serveDone = true
+		worker.maybeRetire()
+	})
+	if wp.cfg.Respawn {
+		w.mux.OnFail(func(error) { wp.superviseRespawn(worker) })
+	}
+	return w
+}
+
+// superviseRespawn replaces a dead worker with a fresh process over a
+// fresh transport channel. It runs on its own proc so the respawn's
+// charged work (the replacement fork) doesn't ride whichever proc
+// observed the failure.
+func (wp *WorkerPool) superviseRespawn(dead *Worker) {
+	if wp.closed {
+		return
+	}
+	// dead.M's engine is the one engine everything runs on; going through
+	// it (not cfg.Machine, which a transport-configured pool may omit)
+	// keeps respawn working for any wiring.
+	dead.M.Eng.Go(fmt.Sprintf("%s%d.respawn", wp.cfg.Name, dead.ID), func(p *sim.Proc) {
+		if wp.closed || wp.workers[dead.ID] != dead {
+			return
+		}
+		// Tear the dead channel down from the server side too: a worker
+		// still alive behind a broken mux (a protocol error, not a
+		// crash) drains to EOF and exits instead of serving or blocking
+		// forever, and the server-side fds are reclaimed.
+		dead.mux.Close(p)
+		wp.retired = append(wp.retired, dead.conn)
+		dead.Proc.Exit() // the crashed process's memory goes back
+		nw := wp.spawn(dead.ID, dead.Gen+1)
+		wp.workers[dead.ID] = nw
+		wp.respawns++
+		if wp.cfg.OnRetire != nil {
+			dead.retire = wp.cfg.OnRetire
+			dead.maybeRetire() // fires now if the worker is already quiet
+		}
+		// Recovery is not free: creating the replacement process is
+		// charged like any fork (channel wiring stays setup-priced).
+		nw.M.Fork(p)
+	})
+}
+
+// Workers returns the pool's current workers (tests and per-worker
+// state). Respawned slots hold fresh *Worker values.
 func (wp *WorkerPool) Workers() []*Worker { return wp.workers }
+
+// Transport returns the transport the pool's channels ride on.
+func (wp *WorkerPool) Transport() Transport { return wp.transport }
 
 // pick selects the live worker with the fewest in-flight requests,
 // breaking ties round-robin so sequential loads still warm every worker
@@ -147,23 +263,52 @@ func (wp *WorkerPool) pick() *Worker {
 }
 
 // Do issues one request through the least-loaded worker's mux, blocking
-// when that worker is at depth. Ownership and error semantics are Mux.Do's.
+// when that worker is at depth. Ownership and error semantics are
+// Mux.Do's, with one addition: a worker that dies between the routing
+// decision and dispatch (the health check races the slot wait inside the
+// mux) surfaces as ErrNotSent, and Do re-routes the request to another
+// live worker instead of failing it — the routing decision is re-checked
+// against the pool's current workers, which is also how requests reach a
+// supervision-respawned replacement.
 func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 	wp.requests++
-	w := wp.pick()
-	w.inflight++
-	resp, err := w.mux.Do(p, req)
-	w.inflight--
-	if err != nil {
+	for {
+		w := wp.pick()
+		if w.mux.Err() != nil {
+			// pick only returns a broken worker when every worker is
+			// broken: fail fast.
+			wp.failures++
+			if req.StdinAgg != nil {
+				req.StdinAgg.Release()
+			}
+			return nil, w.mux.Err()
+		}
+		w.inflight++
+		resp, err := w.mux.Do(p, req)
+		w.inflight--
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrNotSent) {
+			// The worker died before any record of this request reached
+			// it (req.StdinAgg is still ours on this path): re-route.
+			wp.reroutes++
+			continue
+		}
 		wp.failures++
+		return resp, err
 	}
-	return resp, err
 }
 
 // Stats reports requests issued, requests failed, and worker-side write
-// errors (a worker's response hit a closed pipe — the EPIPE a server
-// abort leaves behind).
+// errors (a worker's response hit a closed channel — the EPIPE a server
+// abort leaves behind). Write errors include retired workers', so the
+// count stays monotonic across supervision respawns.
 func (wp *WorkerPool) Stats() (requests, failures, writeErrs int64) {
+	for _, c := range wp.retired {
+		_, _, we := c.Stats()
+		writeErrs += we
+	}
 	for _, w := range wp.workers {
 		_, _, we := w.conn.Stats()
 		writeErrs += we
@@ -171,7 +316,14 @@ func (wp *WorkerPool) Stats() (requests, failures, writeErrs int64) {
 	return wp.requests, wp.failures, writeErrs
 }
 
-// Records reports total records moved over all connections (both
+// Reroutes reports requests re-routed to another worker after their
+// first-choice worker died pre-dispatch.
+func (wp *WorkerPool) Reroutes() int64 { return wp.reroutes }
+
+// Respawns reports workers replaced by supervision.
+func (wp *WorkerPool) Respawns() int64 { return wp.respawns }
+
+// Records reports total records moved over all current connections (both
 // directions, both ends).
 func (wp *WorkerPool) Records() int64 {
 	var n int64
@@ -185,9 +337,10 @@ func (wp *WorkerPool) Records() int64 {
 }
 
 // Close tears down every worker connection: workers drain to EOF and
-// exit; in-flight requests fail with ErrBroken. Must run on a simulated
-// proc.
+// exit; in-flight requests fail with ErrBroken; supervision stands down.
+// Must run on a simulated proc.
 func (wp *WorkerPool) Close(p *sim.Proc) {
+	wp.closed = true
 	for _, w := range wp.workers {
 		w.mux.Close(p)
 	}

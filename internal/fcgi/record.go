@@ -117,6 +117,14 @@ var (
 	// ErrBroken reports a connection whose peer is gone: the mux fails
 	// every in-flight and future request with it.
 	ErrBroken = errors.New("fcgi: connection broken")
+	// ErrNotSent wraps a request failure that happened before any record
+	// of the request reached the worker — the worker died between routing
+	// and dispatch, or while the request waited for a mux slot. The
+	// request never executed (not even partially: a worker only
+	// dispatches complete requests), so the pool may safely re-route it
+	// to another worker. On errors matching ErrNotSent the caller
+	// retains ownership of req.StdinAgg.
+	ErrNotSent = errors.New("fcgi: request not sent")
 )
 
 // Record is one framed unit. Exactly one payload representation is

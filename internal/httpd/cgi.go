@@ -41,14 +41,32 @@ func newCGIPool(s *Server, workers, depth int) *cgiPool {
 		docsAgg: fcgi.NewAggCache(),
 		docsRaw: fcgi.NewRawCache(),
 	}
+	ref := s.cfg.Kind.Lite()
+	var tr fcgi.Transport
+	switch s.cfg.CGIPlacement {
+	case "", "pipe":
+		// nil selects the pool's default pipe transport.
+	case "sock-local":
+		tr = fcgi.NewLoopbackTransport(s.m, s.proc, ref, 0)
+	case "sock-remote":
+		tr, _ = fcgi.NewLANTransport(s.m, s.proc, ref, 0, "cgihost")
+	default:
+		panic("httpd: unknown CGIPlacement " + s.cfg.CGIPlacement)
+	}
 	cp.pool = fcgi.NewWorkerPool(fcgi.PoolConfig{
-		Machine: s.m,
-		Server:  s.proc,
-		Workers: workers,
-		Depth:   depth,
-		Ref:     s.cfg.Kind.Lite(),
-		Name:    "cgi",
-		Handler: cp.handle,
+		Machine:   s.m,
+		Server:    s.proc,
+		Workers:   workers,
+		Depth:     depth,
+		Ref:       ref,
+		Transport: tr,
+		Respawn:   true,
+		Name:      "cgi",
+		Handler:   cp.handle,
+		OnRetire: func(w *fcgi.Worker) {
+			cp.docsAgg.Drop(w)
+			cp.docsRaw.Drop(w)
+		},
 	})
 	return cp
 }
@@ -60,12 +78,14 @@ func newCGIPool(s *Server, workers, depth int) *cgiPool {
 // counted on the worker's connection, which Server.Stats folds into the
 // aborted stat — it is never silently dropped.
 func (cp *cgiPool) handle(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
-	m := cp.s.m
 	size, ok := parseCGISize(string(req.Params))
 	if !ok {
 		size = 1
 	}
-	m.Host.Use(p, cgiRequestWork)
+	// The per-request work runs inside the worker process: charge the
+	// machine the worker is placed on (the server machine for pipe and
+	// sock-local placements, the worker tier's for sock-remote).
+	w.M.Host.Use(p, cgiRequestWork)
 
 	if cp.s.cfg.Kind.Lite() {
 		agg := cp.docsAgg.GetOrPack(p, w, size, func() []byte { return cgiDoc(size) })

@@ -22,7 +22,10 @@ type bed struct {
 	srv    *Server
 }
 
-func newBed(kind Kind, cgi bool) *bed {
+func newBed(kind Kind, cgi bool) *bed { return newBedPlaced(kind, cgi, "") }
+
+// newBedPlaced is newBed with an explicit CGI worker placement.
+func newBedPlaced(kind Kind, cgi bool, placement string) *bed {
 	eng := sim.New()
 	costs := sim.DefaultCosts()
 	var cfg kernel.Config
@@ -34,7 +37,7 @@ func newBed(kind Kind, cgi bool) *bed {
 	b.lst = netsim.NewListener(m.Host)
 	b.client = netsim.NewHost(eng, costs, "client", false, nil, nil)
 	b.link = netsim.NewLink(eng, b.client, m.Host, 100_000_000, 100*time.Microsecond)
-	b.srv = NewServer(Config{Kind: kind, Machine: m, Listener: b.lst, CGI: cgi})
+	b.srv = NewServer(Config{Kind: kind, Machine: m, Listener: b.lst, CGI: cgi, CGIPlacement: placement})
 	return b
 }
 

@@ -80,6 +80,14 @@ type Config struct {
 	// CGIDepth is each worker's mux depth — concurrent requests
 	// multiplexed over one worker's pipe pair (default 4).
 	CGIDepth int
+	// CGIPlacement selects where CGI workers run and how records reach
+	// them: "" or "pipe" keeps workers on the server machine over pipe
+	// pairs; "sock-local" runs them on the server machine behind
+	// loopback TCP; "sock-remote" runs them as processes on a separate
+	// worker machine, records over a 1 Gb/s LAN link (IO-Lite servers'
+	// ref-mode payloads degrade to exactly one copy at the machine
+	// boundary). The pool supervises workers in every placement.
+	CGIPlacement string
 }
 
 // openEntry is one slot of the server's open-FD cache: the descriptor the

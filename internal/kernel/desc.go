@@ -210,6 +210,22 @@ func (m *Machine) Pipe2(reader, writer *Process, mode ipcsim.Mode) (rfd, wfd int
 	return rfd, wfd
 }
 
+// SocketPair wires a connected socket across machines at setup time and
+// installs its two endpoint descriptors: the dialing side in process cpr
+// (on machine cm), the accepting side in process spr (on machine sm, which
+// receives the endpoint opts.ServerRefMode configures). Like Pipe2, the
+// wiring itself is uncharged — process plumbing happens outside
+// measurement — while every byte moved over the returned fds is charged
+// normally. It is the seam distributed-worker topologies build on: a
+// server process on one machine holding framed channels to worker
+// processes on another.
+func SocketPair(cm *Machine, cpr *Process, sm *Machine, spr *Process, link *netsim.Link, opts netsim.ConnOpts) (cfd, sfd int) {
+	conn := netsim.Wire(cm.Host, sm.Host, link, opts)
+	cfd = cpr.Install(&sockDesc{m: cm, ep: conn.ClientEnd()})
+	sfd = spr.Install(&sockDesc{m: sm, ep: conn.ServerEnd()})
+	return cfd, sfd
+}
+
 // Listen wraps lst as a listener descriptor in pr's table; Accept on the
 // returned fd yields connected socket descriptors.
 func (m *Machine) Listen(pr *Process, lst *netsim.Listener) int {

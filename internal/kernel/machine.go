@@ -32,6 +32,10 @@ type Config struct {
 	// ChecksumCache enables the cross-subsystem Internet checksum cache
 	// (§3.9).
 	ChecksumCache bool
+	// HostName names the machine's network identity (default "server").
+	// Multi-machine topologies — remote fcgi worker tiers — give each
+	// machine its own name so resource traces stay readable.
+	HostName string
 }
 
 // Machine is one simulated computer: CPU, memory, disk, file system, the
@@ -73,6 +77,9 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 	if cfg.Policy == nil {
 		cfg.Policy = cache.NewUnified()
 	}
+	if cfg.HostName == "" {
+		cfg.HostName = "server"
+	}
 	m := &Machine{Eng: eng, Costs: costs}
 	m.VM = mem.NewVM(eng, costs, cfg.MemBytes)
 	m.VM.Reserve(mem.TagKernel, mem.PagesFor(int(cfg.KernelReserveBytes)))
@@ -85,7 +92,7 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 		m.CkCache = cksum.NewCache(0)
 	}
 	m.Mmaps = newMmapCache(m)
-	m.Host = netsim.NewHost(eng, costs, "server", true, m.VM, m.CkCache)
+	m.Host = netsim.NewHost(eng, costs, cfg.HostName, true, m.VM, m.CkCache)
 
 	// The pageout pressure chain (§3.7): reclaim file-cache memory first
 	// from whichever cache is populated, then return recycled pool pages.

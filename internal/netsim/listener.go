@@ -44,6 +44,16 @@ func (l *Listener) Close() {
 // Accepted reports how many connections have been accepted.
 func (l *Listener) Accepted() int64 { return l.accepted }
 
+// Wire establishes a connection between two hosts without Dial's handshake
+// charges or latency — the setup-time sibling of Dial, for process plumbing
+// wired outside measurement exactly like pipes (pre-established worker
+// channels, long-lived tier interconnects). client is the end that would
+// have dialed; server receives the endpoint ConnOpts.ServerRefMode
+// configures. All traffic on the returned connection is charged normally.
+func Wire(client, server *Host, link *Link, opts ConnOpts) *Conn {
+	return newConn(client, server, link, opts)
+}
+
 // Dial establishes a connection from client host over link to the listener:
 // one round trip of handshake latency, with connection-establishment CPU
 // charged to both ends (§5: TCP setup dominates small nonpersistent

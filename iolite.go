@@ -94,6 +94,9 @@ var (
 	ErrClosed       = kernel.ErrClosed
 	ErrNotSupported = kernel.ErrNotSupported
 	ErrNotExist     = kernel.ErrNotExist
+	// ErrCorrupt reports a checksum-verifying descriptor whose stream did
+	// not match its expected checksum.
+	ErrCorrupt = kernel.ErrCorrupt
 )
 
 // PipeOf returns the pipe behind a pipe descriptor (for Stats).
@@ -105,6 +108,15 @@ func PipeOf(d Desc) (*Pipe, bool) { return kernel.PipeOf(d) }
 // from files, sockets, ref-mode pipes, and objects to sockets and pipes
 // entirely in-kernel, with zero copy charge.
 func (s *System) NewAggDesc(a *Agg) Desc { return kernel.NewAggDesc(s.Machine, a) }
+
+// NewCksumDesc wraps any descriptor with read-side integrity
+// verification: every byte read through it folds into a running Internet
+// checksum (charged through the checksum cache when data arrives as
+// sealed aggregates), and end of stream compares against want — a
+// mismatch surfaces as ErrCorrupt instead of a clean io.EOF.
+func (s *System) NewCksumDesc(inner Desc, want uint16) Desc {
+	return kernel.NewCksumDesc(s.Machine, inner, want)
+}
 
 // SystemConfig sizes a simulated machine.
 type SystemConfig struct {
