@@ -45,8 +45,8 @@ func main() {
 				Warmup:    300 * time.Millisecond,
 				Measure:   2 * time.Second,
 			})
-			fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%)\n",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100)
+			fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%, %4.1f pkts/req, fill %.2f)\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100, r.PktsPerReq, r.SegFill)
 		}
 	}
 
@@ -54,4 +54,8 @@ func main() {
 	fmt.Println("pipes charge framing only in ref mode; loopback TCP adds the per-packet")
 	fmt.Println("protocol path; the machine boundary adds exactly one copy per payload byte")
 	fmt.Println("(and buys the worker tier its own CPU) — the LAN tax, itemized.")
+	fmt.Println()
+	fmt.Println("pkts/req and segment fill meter the packet economy: the transport corks")
+	fmt.Println("adjacent records into MSS-sized segments, and send windows autotune to")
+	fmt.Println("depth × typical record, so the protocol tax is paid on full packets only.")
 }

@@ -47,8 +47,8 @@ func main() {
 			Mode:   mode,
 			Warmup: time.Second, Measure: 3 * time.Second, Seed: 42,
 		})
-		fmt.Printf("%-28s %7.1f Mb/s  copied %7.1f MB  (cpu %2.0f%%, hit %.2f, ck-hit %.2f)\n",
-			r.Label, r.Mbps, r.CopiedMB, r.ServerCPUUtil*100, r.HitRate, r.CksumHitRate)
+		fmt.Printf("%-28s %7.1f Mb/s  copied %7.1f MB  (cpu %2.0f%%, hit %.2f, ck-hit %.2f, %4.1f pkts/req, fill %.2f)\n",
+			r.Label, r.Mbps, r.CopiedMB, r.ServerCPUUtil*100, r.HitRate, r.CksumHitRate, r.PktsPerReq, r.SegFill)
 	}
 
 	fmt.Println("\nThe zero-copy relay eliminates the per-byte copy work; the splice hit path")

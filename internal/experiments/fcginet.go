@@ -6,8 +6,15 @@ import (
 
 	"iolite/internal/fcgi"
 	"iolite/internal/kernel"
+	"iolite/internal/netsim"
 	"iolite/internal/sim"
 )
+
+// hostSegStats reads one host's transmitted data-segment counters.
+func hostSegStats(h *netsim.Host) (pkts, bytes int64) {
+	pkts, _, bytes, _ = h.Stats()
+	return pkts, bytes
+}
 
 // The fcgi-net experiment: the LAN-tax study the transport layer exists
 // for. The same worker pool and the same workload as RunFCGI run over
@@ -78,6 +85,12 @@ type FCGINetResult struct {
 	// the worker machine's (equal to CPUUtil for on-machine placements).
 	CPUUtil       float64
 	WorkerCPUUtil float64
+	// PktsPerReq is data segments moved per completed request across every
+	// host in the topology, and SegFill the mean payload fill of those
+	// segments versus the MSS — the packet-economy meters. Both are 0 for
+	// the pipe placement (no packets at all).
+	PktsPerReq float64
+	SegFill    float64
 }
 
 // RunFCGINet executes one fcgi transport experiment.
@@ -184,8 +197,10 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 		warmDone = done
 		costs.ResetMeter()
 		m.CPU().ResetStats()
+		m.Host.ResetNetStats()
 		if wm != m {
 			wm.CPU().ResetStats()
+			wm.Host.ResetNetStats()
 		}
 	})
 	eng.At(end, func() {
@@ -194,6 +209,17 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 		res.CopiedMB = float64(costs.MeterCopiedBytes()) / (1 << 20)
 		res.CPUUtil = m.CPU().Utilization()
 		res.WorkerCPUUtil = wm.CPU().Utilization()
+		pkts, bytes := hostSegStats(m.Host)
+		if wm != m {
+			wp, wb := hostSegStats(wm.Host)
+			pkts, bytes = pkts+wp, bytes+wb
+		}
+		if res.Requests > 0 {
+			res.PktsPerReq = float64(pkts) / float64(res.Requests)
+		}
+		if pkts > 0 {
+			res.SegFill = float64(bytes) / (float64(pkts) * netsim.MSS)
+		}
 	})
 	eng.Run()
 	res.Failures = failed
@@ -245,13 +271,13 @@ func FigFCGINet(opt Options) *Table {
 					Warmup:    warm,
 					Measure:   meas,
 				})
-				opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f)",
-					r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil)
+				opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f)",
+					r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill)
 				row.Values = append(row.Values, r.KReqPerSec)
 				if n == notesAt {
 					t.Notes = append(t.Notes, fmt.Sprintf(
-						"%s: copied %.2f MB, cpu %.2f (worker machine %.2f)",
-						r.Label, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil))
+						"%s: copied %.2f MB, cpu %.2f (worker machine %.2f), %.1f pkts/req, seg fill %.2f",
+						r.Label, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill))
 				}
 			}
 		}
@@ -261,6 +287,9 @@ func FigFCGINet(opt Options) *Table {
 		"16KB docs, 400µs app wait, depth 8, M = workers × depth closed-loop requesters",
 		"sock-local rides loopback TCP on the server machine; sock-remote a 1 Gb/s, 50µs LAN link",
 		"ref payloads cross pipes and local sockets by reference (copied MB ≈ framing);",
-		"at the machine boundary they are charged as copies exactly once — the LAN tax")
+		"at the machine boundary they are charged as copies exactly once — the LAN tax",
+		"pkts/req and seg fill meter the packet economy: the corked pump gathers adjacent",
+		"records into MSS-sized segments and autotuned windows (depth × typical record)",
+		"keep admission from fragmenting — fewer, fuller packets per request")
 	return t
 }

@@ -23,12 +23,14 @@ func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref bool) {
 			Measure:   time.Second,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f\n",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil)
+			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill)
 			b.ReportMetric(r.KReqPerSec, "kreq/s")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.CPUUtil*100, "cpu_pct")
 			b.ReportMetric(r.WorkerCPUUtil*100, "wkr_cpu_pct")
+			b.ReportMetric(r.PktsPerReq, "pkts/req")
+			b.ReportMetric(r.SegFill*100, "segfill_pct")
 		}
 	}
 }

@@ -62,6 +62,14 @@ type ProxyResult struct {
 	CksumHitRate float64
 	// ServerCPUUtil is the serving tier's (proxy or origin) CPU utilization.
 	ServerCPUUtil float64
+	// PktsPerReq is the serving tier's transmitted data segments per
+	// request and SegFill their mean payload fill versus the MSS — the
+	// packet-economy meters. They cover everything the serving machine
+	// transmits: client responses plus, for a proxy, the small
+	// origin-fetch requests its cache misses send upstream (negligible
+	// once the cache is warm).
+	PktsPerReq float64
+	SegFill    float64
 }
 
 // originMachineConfig builds the kernel config for an origin (or direct)
@@ -203,6 +211,7 @@ func RunProxy(pp ProxyParams) ProxyResult {
 			ck.ResetStats()
 		}
 		serveMachine.CPU().ResetStats()
+		serveMachine.Host.ResetNetStats()
 	})
 	eng.At(end, func() {
 		var reqs, total, aborted int64
@@ -220,6 +229,11 @@ func RunProxy(pp ProxyParams) ProxyResult {
 			res.CksumHitRate = ck.HitRate()
 		}
 		res.ServerCPUUtil = serveMachine.CPU().Utilization()
+		pkts, _, _, _ := serveMachine.Host.Stats()
+		if res.Requests > 0 {
+			res.PktsPerReq = float64(pkts) / float64(res.Requests)
+		}
+		res.SegFill = serveMachine.Host.MeanSegFill()
 	})
 
 	eng.Run()
@@ -259,13 +273,13 @@ func FigProxy(opt Options) *Table {
 			r := RunProxy(ProxyParams{
 				Origin: sc, Mode: mode, Warmup: warm, Measure: meas, Seed: 7,
 			})
-			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f)",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate)
+			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f, %.1f pkts/req, fill %.2f)",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.PktsPerReq, r.SegFill)
 			row.Values = append(row.Values, r.Mbps)
 			if sc.Kind == httpd.FlashLite {
 				t.Notes = append(t.Notes, fmt.Sprintf(
-					"%s: copied %.1f MB, proxy cksum-cache hit rate %.2f, proxy hit rate %.2f",
-					r.Label, r.CopiedMB, r.CksumHitRate, r.HitRate))
+					"%s: copied %.1f MB, proxy cksum-cache hit rate %.2f, proxy hit rate %.2f, %.1f pkts/req, seg fill %.2f",
+					r.Label, r.CopiedMB, r.CksumHitRate, r.HitRate, r.PktsPerReq, r.SegFill))
 			}
 		}
 		t.Rows = append(t.Rows, row)

@@ -26,13 +26,15 @@ func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
 			Seed:    9,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f\n",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil)
+			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f, %.1f pkts/req, fill %.2f\n",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil, r.PktsPerReq, r.SegFill)
 			b.ReportMetric(r.Mbps, "Mbps")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.HitRate*100, "hit_pct")
 			b.ReportMetric(r.CksumHitRate*100, "ckhit_pct")
 			b.ReportMetric(r.ServerCPUUtil*100, "cpu_pct")
+			b.ReportMetric(r.PktsPerReq, "pkts/req")
+			b.ReportMetric(r.SegFill*100, "segfill_pct")
 		}
 	}
 }

@@ -112,6 +112,11 @@ type Conn struct {
 	rAgg    *core.Agg
 	scratch []byte
 
+	// corkable records whether wfd's transport accepts TCP_CORK (sockets
+	// do, pipes don't), probed uncharged at construction so pipe channels
+	// never pay a setsockopt syscall.
+	corkable bool
+
 	recsIn, recsOut int64
 	writeErrs       int64
 }
@@ -136,7 +141,11 @@ func NewConn(m *kernel.Machine, pr *kernel.Process, rfd, wfd, id int) *Conn {
 // a socket stays on-machine (WireRefStream keeps references) or crosses
 // to another one (WireBoundary must degrade to the single boundary copy).
 func NewConnModes(m *kernel.Machine, pr *kernel.Process, rfd, wfd, id int, rmode, wmode WireMode) *Conn {
-	return &Conn{m: m, pr: pr, rfd: rfd, wfd: wfd, id: id, rmode: rmode, wmode: wmode}
+	c := &Conn{m: m, pr: pr, rfd: rfd, wfd: wfd, id: id, rmode: rmode, wmode: wmode}
+	if d, err := pr.Desc(wfd); err == nil {
+		c.corkable = kernel.Corkable(d)
+	}
+	return c
 }
 
 // ID returns the connection's diagnostic id.
@@ -211,12 +220,15 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	}
 
 	// Serialized modes: header then payload through the channel as
-	// bytes. WireCopy stages an aggregate payload into contiguous bytes
-	// first (a real copy, charged) — the conventional wire format cannot
-	// gather from references. WireBoundary gathers writev-style straight
-	// from the slices (aggregate walking only): the machine boundary's
-	// single charged copy per payload byte is the write into the socket
-	// send buffer itself, below.
+	// bytes, corked so the 8-byte record header never becomes its own
+	// sub-MSS segment on a socket channel. WireCopy stages an aggregate
+	// payload into contiguous bytes first (a real copy, charged) — the
+	// conventional wire format cannot gather from references.
+	// WireBoundary gathers writev-style straight from the slices
+	// (aggregate walking only): the machine boundary's single charged
+	// copy per payload byte is the write into the socket send buffer
+	// itself, below.
+	c.cork(p, true)
 	if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, hdr[:]); err != nil {
 		c.writeErrs++
 		return err
@@ -236,11 +248,24 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 			return err
 		}
 	}
+	c.cork(p, false)
 	if rec.Agg != nil {
 		rec.Agg.Release()
 	}
 	c.recsOut++
 	return nil
+}
+
+// cork scopes TCP_CORK around one serialized record's header+payload
+// writes on a socket channel; pipe channels (no segment boundaries) skip
+// it entirely, probed at construction. Error paths skip the uncork, which
+// is safe because a failed write means the channel is dead and Close
+// flushes the transport anyway.
+func (c *Conn) cork(p *sim.Proc, on bool) {
+	if !c.corkable {
+		return
+	}
+	_ = c.m.SetCork(p, c.pr, c.wfd, on)
 }
 
 // ReadRecord blocks for the next inbound record. io.EOF means the peer

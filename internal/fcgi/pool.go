@@ -46,6 +46,10 @@ type PoolConfig struct {
 	OnRetire func(w *Worker)
 	// WorkerMem is each worker process's private memory (default 2 MB).
 	WorkerMem int
+	// TypicalResponse is the expected response payload per request, used
+	// to autotune socket-transport send windows (depth × typical record;
+	// see AutoWindow). 0 selects TypicalRecordBytes.
+	TypicalResponse int
 	// Name prefixes worker process names (default "fcgi").
 	Name string
 	// Handler serves each request; it receives the owning Worker so
@@ -148,6 +152,12 @@ func NewWorkerPool(cfg PoolConfig) *WorkerPool {
 	wp := &WorkerPool{cfg: cfg, transport: cfg.Transport}
 	if wp.transport == nil {
 		wp.transport = NewPipeTransport(cfg.Machine, cfg.Server, cfg.Ref, cfg.WorkerMem)
+	}
+	// Socket transports size their channel send windows from the pool's
+	// concurrency instead of a hardwired constant: a window-starved mux
+	// trickles records into the transport in sub-MSS pieces.
+	if tuner, ok := wp.transport.(WindowTuner); ok {
+		tuner.TuneWindow(cfg.Depth, cfg.TypicalResponse)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		wp.workers = append(wp.workers, wp.spawn(i, 0))

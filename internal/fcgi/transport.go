@@ -40,6 +40,51 @@ const (
 	LANDelay      = 50 * time.Microsecond
 )
 
+// Send-window autotuning bounds. A worker channel's send window must hold
+// one full mux depth's worth of in-flight responses, or admission becomes
+// window-starved and trickles records into the transport in sub-MSS
+// pieces; anything much beyond that only pins socket-buffer memory.
+const (
+	// TypicalRecordBytes is the assumed response-record payload when the
+	// pool doesn't know better (the experiments' default document size).
+	TypicalRecordBytes = 16 << 10
+	// MinWindow is the floor (the paper's client-socket size); MaxWindow
+	// caps very deep pools.
+	MinWindow = 64 << 10
+	MaxWindow = 1 << 20
+)
+
+// AutoWindow sizes a worker-channel send window from the mux depth and the
+// typical response record: depth full records (payload + framing) can be
+// in flight before a writer blocks, clamped to [MinWindow, MaxWindow].
+// This replaces the hardwired 256 KB constant the first socket transports
+// shipped with — deep pools get the window they need, shallow ones stop
+// overpaying.
+func AutoWindow(depth, typicalRecord int) int {
+	if depth <= 0 {
+		depth = 8
+	}
+	if typicalRecord <= 0 {
+		typicalRecord = TypicalRecordBytes
+	}
+	w := depth * (typicalRecord + 2*HeaderLen)
+	if w < MinWindow {
+		return MinWindow
+	}
+	if w > MaxWindow {
+		return MaxWindow
+	}
+	return w
+}
+
+// WindowTuner is implemented by transports whose channel send windows
+// should scale with the pool that rides them; NewWorkerPool calls it with
+// the pool's mux depth and typical response size before connecting
+// workers. Explicitly configured windows (Tss > 0) win over tuning.
+type WindowTuner interface {
+	TuneWindow(depth, typicalRecord int)
+}
+
 // Channel is one established worker channel: the worker process the
 // transport created, the machine it runs on, and a framed Conn on each
 // side.
@@ -132,13 +177,18 @@ type SocketTransport struct {
 	Ref bool
 	// WorkerMem is each worker process's private memory (default 2 MB).
 	WorkerMem int
-	// Tss is the socket send buffer size per direction (default 256 KB).
+	// Tss is an explicit socket send buffer size per direction; 0 (the
+	// default) autotunes it with AutoWindow from Depth and TypicalRecord.
 	// Worker channels are long-lived, deliberately tuned server-to-server
 	// connections, not the paper's 64 KB client sockets: the window must
 	// hold a full mux depth's worth of in-flight responses, or admission
-	// becomes window-starved and fragments records into far-sub-MSS
-	// segments whose per-packet cost dwarfs the data path.
+	// becomes window-starved and trickles records into the transport in
+	// sub-MSS pieces.
 	Tss int
+	// Depth and TypicalRecord feed AutoWindow when Tss is 0; the pool
+	// sets them through TuneWindow.
+	Depth         int
+	TypicalRecord int
 }
 
 // NewLoopbackTransport wires workers behind loopback TCP on m: same
@@ -165,6 +215,23 @@ func NewLANTransport(m *kernel.Machine, server *kernel.Process, ref bool, worker
 	return NewRemoteTransport(m, server, wm, link, ref, workerMem), wm
 }
 
+// TuneWindow records the pool's mux depth and typical response size for
+// send-window autotuning (no-op once an explicit Tss is set).
+func (t *SocketTransport) TuneWindow(depth, typicalRecord int) {
+	t.Depth = depth
+	if typicalRecord > 0 {
+		t.TypicalRecord = typicalRecord
+	}
+}
+
+// Window reports the send window new channels will get.
+func (t *SocketTransport) Window() int {
+	if t.Tss > 0 {
+		return t.Tss
+	}
+	return AutoWindow(t.Depth, t.TypicalRecord)
+}
+
 // Remote reports whether workers run on a different machine than the
 // pool's server process.
 func (t *SocketTransport) Remote() bool { return t.WorkerMachine != t.M }
@@ -185,13 +252,9 @@ func (t *SocketTransport) Connect(id int, name string) Channel {
 		mem = 2 << 20
 	}
 	wp := wm.NewProcess(name, mem)
-	tss := t.Tss
-	if tss <= 0 {
-		tss = 256 << 10
-	}
 	// The worker side gets the reference-mode endpoint only when its
 	// sealed buffers may legally cross: on the same machine.
-	opts := netsim.ConnOpts{Tss: tss, ServerRefMode: t.Ref && !t.Remote()}
+	opts := netsim.ConnOpts{Tss: t.Window(), ServerRefMode: t.Ref && !t.Remote()}
 	sfd, wfd := kernel.SocketPair(t.M, t.Server, wm, wp, t.Link, opts)
 	respWire := WireCopy
 	if t.Ref {

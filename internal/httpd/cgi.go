@@ -151,15 +151,18 @@ func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
 	}
 
 	// Baseline: the document crossed the pipe by copy; send it with the
-	// conventional copying writes.
+	// conventional copying writes, corked so the header and document
+	// gather into full segments.
 	body := resp.Bytes
 	hdr := FormatResponseHeader(s.cfg.Kind.String(), int64(len(body)))
+	s.cork(p, cfd, true)
 	if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
 		return false
 	}
 	if _, err := s.m.WritePOSIX(p, s.proc, cfd, body); err != nil {
 		return false
 	}
+	s.cork(p, cfd, false)
 	s.bytesBody += int64(len(body))
 	s.bytesTotal += int64(len(body) + len(hdr))
 	return true

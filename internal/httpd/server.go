@@ -285,9 +285,19 @@ func (s *Server) openCached(p *sim.Proc, path string) (openEntry, bool) {
 	return e, true
 }
 
+// cork toggles TCP_CORK on the client socket around multi-write responses
+// so the header never ships as its own undersized segment. Descriptors
+// without a segmenting transport ignore it.
+func (s *Server) cork(p *sim.Proc, cfd int, on bool) {
+	_ = s.m.SetCork(p, s.proc, cfd, on)
+}
+
 // serveStatic sends a file down connection descriptor cfd. It stops at the
 // first write error (the simulated EPIPE of a departed client) and reports
 // false; the byte counters only advance for fully delivered responses.
+// Every multi-write path corks the socket for the duration of the
+// response: the response header and the document gather into exactly
+// ⌈(header+body)/MSS⌉ data segments instead of the header riding alone.
 func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
 	e, ok := s.openCached(p, path)
 	if !ok {
@@ -317,9 +327,12 @@ func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
 		}
 	case FlashLiteSplice:
 		// The sendfile shape: one IOL_write for the header, one splice for
-		// the whole document. The document's sealed cache buffers go from
-		// the file cache to the wire without ever being mapped into the
-		// server — and their checksums stay cached across requests.
+		// the whole document, corked together so the header fills the
+		// first data segment instead of shipping alone. The document's
+		// sealed cache buffers go from the file cache to the wire without
+		// ever being mapped into the server — and their checksums stay
+		// cached across requests.
+		s.cork(p, cfd, true)
 		resp := core.PackBytes(p, s.proc.Pool, hdr)
 		if err := s.m.IOLWrite(p, s.proc, cfd, resp); err != nil {
 			resp.Release()
@@ -341,21 +354,25 @@ func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
 				return false
 			}
 		}
+		s.cork(p, cfd, false)
 	case Flash:
 		// mmap avoids the read-side copy; the send still copies into
 		// socket buffers and checksums every byte.
 		mp := s.m.Mmap(p, s.proc, f)
+		s.cork(p, cfd, true)
 		if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
 			return false
 		}
 		if _, err := s.m.WritePOSIX(p, s.proc, cfd, mp.Bytes(0, f.Size())); err != nil {
 			return false
 		}
+		s.cork(p, cfd, false)
 	case Apache:
 		// Apache 1.3 walks the mmap'd file in 8 KB hunks, one write(2) per
 		// hunk, after its buffered-output (BUFF) layer has staged the data
 		// in a user buffer — one more copy than Flash's direct writev.
 		mp := s.m.Mmap(p, s.proc, f)
+		s.cork(p, cfd, true)
 		if _, err := s.m.WritePOSIX(p, s.proc, cfd, hdr); err != nil {
 			return false
 		}
@@ -370,6 +387,7 @@ func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
 				return false
 			}
 		}
+		s.cork(p, cfd, false)
 	}
 	s.bytesBody += f.Size()
 	s.bytesTotal += f.Size() + int64(len(hdr))

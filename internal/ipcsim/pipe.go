@@ -135,6 +135,11 @@ func (pp *Pipe) Write(p *sim.Proc, data []byte) {
 			take = room
 		}
 		pp.use(p, pp.costs.Copy(take))
+		if pp.rClosed {
+			// The reader vanished while the copy was charged: the buffer
+			// was discarded, do not repopulate it.
+			return
+		}
 		pp.buf = append(pp.buf, data[off:off+take]...)
 		pp.bytes += take
 		pp.bytesMoved += int64(take)
@@ -160,6 +165,11 @@ func (pp *Pipe) Read(p *sim.Proc, dst []byte) int {
 	}
 	n := copy(dst, pp.buf)
 	pp.use(p, pp.costs.Copy(n))
+	if pp.rClosed {
+		// CloseRead discarded the buffer while the copy-out was charged;
+		// the bytes already copied into dst are all there is to consume.
+		return n
+	}
 	pp.buf = pp.buf[n:]
 	pp.bytes -= n
 	pp.copiesMoved += int64(n)

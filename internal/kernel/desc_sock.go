@@ -86,6 +86,13 @@ func (d *sockDesc) SpliceOut(p *sim.Proc, n int64) (*core.Agg, error) {
 	return splitPending(a, n, &d.pending), nil
 }
 
+// SetCork toggles the endpoint's send-side cork (TCP_CORK): corked, the
+// transport holds a sub-MSS tail so adjacent writes — a response header,
+// then the spliced document — gather into full segments. Works on any
+// socket regardless of payload mode; the cork is about segment boundaries,
+// not buffer ownership.
+func (d *sockDesc) SetCork(on bool) { d.ep.SetCork(on) }
+
 // spliceInSupported gates the sink capability on the endpoint's send path:
 // a conventional socket's send buffer requires a private copy, so only
 // reference-mode endpoints splice.

@@ -81,19 +81,29 @@ func (c *Conn) ClientEnd() *Endpoint { return c.client }
 func (c *Conn) ServerEnd() *Endpoint { return c.server }
 
 // sendItem is admitted payload awaiting segmentation. done fires when the
-// item's last byte is acknowledged.
+// segment carrying the item's last byte is acknowledged.
 type sendItem struct {
 	pl   Payload
 	off  int
 	done func()
 }
 
+// segPiece is one gathered piece of an outgoing segment. A corked segment
+// may carry the tail of one send item plus whole following items, mixing
+// reference pieces (agg) and copy pieces (data); exactly one field is set.
+type segPiece struct {
+	agg  *core.Agg
+	data []byte
+}
+
 // ackRecord tracks one in-flight segment so acknowledgments release
-// resources in order.
+// resources in order. A gathered segment can complete several send items,
+// so it holds one agg reference per ref piece and every completed item's
+// done callback, fired in admission order on the segment's ack.
 type ackRecord struct {
-	n    int
-	agg  *core.Agg // reference-mode segment payload, released on ack
-	done func()
+	n     int
+	aggs  []*core.Agg // reference-mode piece payloads, released on ack
+	dones []func()
 }
 
 // Endpoint is one direction's sender plus the opposite direction's
@@ -110,6 +120,9 @@ type Endpoint struct {
 	// Sender state.
 	sndQ      []*sendItem
 	sndBytes  int // admitted (queued-unsent + in-flight) bytes, ≤ tss
+	queued    int // admitted-but-unsegmented bytes (the tail of sndBytes)
+	corked    bool
+	flush     bool // Drain's push: emit the held tail even while corked
 	ackFIFO   []ackRecord
 	sndWait   sim.WaitQueue
 	pump      *sim.Proc
@@ -153,6 +166,22 @@ func (e *Endpoint) Closing() bool { return e.closing }
 // currently pins (the Figure 12 memory effect).
 func (e *Endpoint) SockBufPages() int { return e.sockPages }
 
+// SetCork sets the endpoint's explicit cork (TCP_CORK): while corked, the
+// pump transmits only full MSS segments, holding a sub-MSS tail until more
+// data arrives. Removing the cork flushes the tail. Callers should uncork
+// when their write burst ends; a held tail otherwise flushes only on
+// Drain, Close, or send-buffer pressure (a full window with nothing in
+// flight, where holding would wedge the blocked sender).
+func (e *Endpoint) SetCork(on bool) {
+	e.corked = on
+	if !on {
+		e.wakePump()
+	}
+}
+
+// Corked reports whether the endpoint is explicitly corked.
+func (e *Endpoint) Corked() bool { return e.corked }
+
 // Send queues a payload for transmission, blocking while the socket send
 // buffer is full — payload is admitted piecewise as space frees, exactly
 // like a blocking write(2). In reference mode the endpoint takes ownership
@@ -190,6 +219,7 @@ func (e *Endpoint) Send(p *sim.Proc, pl Payload, done func()) {
 			cb = done
 		}
 		e.sndBytes += take
+		e.queued += take
 		if !e.refMode {
 			e.reserveSock()
 		}
@@ -231,9 +261,14 @@ func (e *Endpoint) startPump() {
 	})
 }
 
-// runPump segments admitted payload at the MSS, charges per-packet protocol
-// and checksum work, serializes on the wire, and schedules delivery after
-// the propagation delay.
+// runPump drains the send queue into MSS-sized segments, charges
+// per-packet protocol and checksum work, serializes on the wire, and
+// schedules delivery after the propagation delay. The pump corks: adjacent
+// send items gather into one segment instead of each item becoming its own
+// (possibly undersized) packet, and a sub-MSS tail is held back while the
+// endpoint is explicitly corked or while unacknowledged segments are still
+// in flight (Nagle-style auto-cork) — more data or the draining acks will
+// fill it. Close flushes everything.
 func (e *Endpoint) runPump(p *sim.Proc) {
 	costs := e.host.costs
 	for {
@@ -250,59 +285,101 @@ func (e *Endpoint) runPump(p *sim.Proc) {
 			p.Park()
 			continue
 		}
-		item := e.sndQ[0]
-		n := item.pl.Len() - item.off
-		if n > MSS {
-			n = MSS
+		if e.holdTail() {
+			// Corked sub-MSS tail: park until new data, the flushing
+			// uncork, the last ack, or Close arrives.
+			e.pumpIdle = true
+			p.Park()
+			continue
 		}
+		e.emitSegment(p, costs)
+	}
+}
 
-		var segAgg *core.Agg
-		var segData []byte
-		cpu := costs.MbufAlloc + costs.Packet
+// holdTail reports whether a sub-MSS queue tail should wait for more data:
+// while unacknowledged segments are in flight (Nagle-style auto-cork —
+// their acks are guaranteed, so progress is too) or while the endpoint is
+// explicitly corked. An explicit cork yields under buffer pressure — a
+// full window with nothing in flight means no ack will ever come and a
+// sender blocked in Send cannot reach its uncork, so holding would
+// deadlock; TCP_CORK likewise flushes when the send buffer fills.
+func (e *Endpoint) holdTail() bool {
+	if e.queued >= MSS || e.closing || e.flush {
+		return false
+	}
+	if len(e.ackFIFO) > 0 {
+		return true
+	}
+	return e.corked && e.sndBytes < e.tss
+}
+
+// emitSegment gathers up to MSS bytes from adjacent send items into one
+// segment — the tail of one item plus whole following items, mixing copy
+// and reference pieces — charges its protocol work, and puts it on the
+// wire. Items whose last byte is admitted to the segment attach their done
+// callbacks to its ack record.
+func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
+	var pieces []segPiece
+	rec := ackRecord{}
+	cpu := costs.MbufAlloc + costs.Packet
+	for rec.n < MSS && len(e.sndQ) > 0 {
+		item := e.sndQ[0]
+		take := item.pl.Len() - item.off
+		if room := MSS - rec.n; take > room {
+			take = room
+		}
 		if item.pl.Agg != nil {
-			segAgg = item.pl.Agg.Range(item.off, n)
-			if e.host.ck != nil {
-				// Checksum cache: only cold slices cost CPU (§3.9); the
-				// cache charges p internally for misses.
-				e.host.Use(p, cpu)
-				e.host.ck.Aggregate(p, costs, segAgg)
-				cpu = 0
-			} else {
-				cpu += costs.Cksum(n)
+			pa := item.pl.Agg.Range(item.off, take)
+			pieces = append(pieces, segPiece{agg: pa})
+			rec.aggs = append(rec.aggs, pa)
+			if e.host.ck == nil {
+				cpu += costs.Cksum(take)
 			}
 		} else {
-			segData = item.pl.Data[item.off : item.off+n]
-			cpu += costs.Cksum(n)
+			pieces = append(pieces, segPiece{data: item.pl.Data[item.off : item.off+take]})
+			cpu += costs.Cksum(take)
 		}
-		if cpu > 0 {
-			e.host.Use(p, cpu)
-		}
-
-		item.off += n
-		var done func()
+		item.off += take
+		rec.n += take
 		if item.off == item.pl.Len() {
-			done = item.done
+			if item.done != nil {
+				rec.dones = append(rec.dones, item.done)
+			}
 			if item.pl.Agg != nil {
-				item.pl.Agg.Release() // segments hold their own references
+				item.pl.Agg.Release() // segment pieces hold their own references
 			}
 			e.sndQ = e.sndQ[1:]
 		}
-		e.ackFIFO = append(e.ackFIFO, ackRecord{n: n, agg: segAgg, done: done})
-		e.transmitData(p, n, segAgg, segData)
-
-		e.host.pktsOut++
-		e.host.bytesOut += int64(n)
 	}
+	e.queued -= rec.n
+	if e.queued == 0 {
+		e.flush = false // the push is complete; the cork holds again
+	}
+	e.host.Use(p, cpu)
+	if e.host.ck != nil {
+		// Checksum cache: only cold slices cost CPU (§3.9); the cache
+		// charges p internally for misses, per gathered ref piece.
+		for _, pc := range pieces {
+			if pc.agg != nil {
+				e.host.ck.Partial(p, costs, pc.agg)
+			}
+		}
+	}
+	e.ackFIFO = append(e.ackFIFO, rec)
+	e.transmitData(p, rec.n, pieces)
+
+	e.host.pktsOut++
+	e.host.bytesOut += int64(rec.n)
 }
 
 // transmitData serializes one data segment on the wire and schedules its
 // delivery at the peer.
-func (e *Endpoint) transmitData(p *sim.Proc, n int, agg *core.Agg, data []byte) {
+func (e *Endpoint) transmitData(p *sim.Proc, n int, pieces []segPiece) {
 	link := e.link
 	link.wire[e.dir].Use(p, link.txTime(n+HeaderLen))
 	peer := e.peer
 	e.host.eng.After(link.delay, func() {
-		peer.deliver(n, agg, data)
+		peer.deliver(n, pieces)
 	})
 }
 
@@ -322,22 +399,26 @@ func (e *Endpoint) transmitFIN(p *sim.Proc) {
 
 // deliver runs when a data segment arrives at the receiving host: interrupt
 // and early-demultiplexing work, checksum verification, reader wake-up, and
-// the acknowledgment back to the sender.
-func (e *Endpoint) deliver(n int, agg *core.Agg, data []byte) {
+// the acknowledgment back to the sender. A gathered segment yields one
+// delivery per piece — the Agg/Data distinction each piece's sender chose
+// survives coalescing — but charges the per-packet receive work only once.
+func (e *Endpoint) deliver(n int, pieces []segPiece) {
 	costs := e.host.costs
 	cpu := costs.Interrupt + costs.Packet + costs.Demux + costs.Cksum(n)
 	e.host.charge(cpu, func() {
 		e.host.pktsIn++
 		e.host.bytesIn += int64(n)
-		d := Delivery{}
-		if agg != nil {
-			d.Agg = agg.Clone() // receiver's reference; sender's released on ack
-		} else {
-			// Copy mode: wire bytes land in receive socket buffers; a later
-			// Recv copies them out to the application.
-			d.Data = append([]byte(nil), data...)
+		for _, pc := range pieces {
+			d := Delivery{}
+			if pc.agg != nil {
+				d.Agg = pc.agg.Clone() // receiver's reference; sender's released on ack
+			} else {
+				// Copy mode: wire bytes land in receive socket buffers; a
+				// later Recv copies them out to the application.
+				d.Data = append([]byte(nil), pc.data...)
+			}
+			e.rcvQ = append(e.rcvQ, d)
 		}
-		e.rcvQ = append(e.rcvQ, d)
 		e.rcvWait.Wake(-1)
 		e.sendAck(n)
 	})
@@ -367,18 +448,21 @@ func (e *Endpoint) acked(n int) {
 		panic(fmt.Sprintf("netsim: ack of %d bytes, head segment %d", n, rec.n))
 	}
 	e.ackFIFO = e.ackFIFO[1:]
-	if rec.agg != nil {
-		rec.agg.Release()
+	for _, a := range rec.aggs {
+		a.Release()
 	}
 	e.sndBytes -= n
 	if !e.refMode {
 		e.reserveSock()
 	}
 	e.sndWait.Wake(-1)
-	if rec.done != nil {
-		rec.done()
+	for _, done := range rec.dones {
+		done()
 	}
-	if e.closing && len(e.sndQ) == 0 && len(e.ackFIFO) == 0 {
+	// A draining ack FIFO can end an auto-cork hold (the queue's sub-MSS
+	// tail flushes once nothing is in flight), and the last ack of a
+	// closing endpoint releases the FIN.
+	if len(e.sndQ) > 0 || (e.closing && len(e.ackFIFO) == 0) {
 		e.wakePump()
 	}
 }
@@ -408,8 +492,15 @@ func (e *Endpoint) Close(p *sim.Proc) {
 	e.wakePump()
 }
 
-// Drain blocks p until every admitted byte has been acknowledged.
+// Drain blocks p until every admitted byte has been acknowledged. A drain
+// is a push point: a sub-MSS tail held by an explicit cork is flushed
+// first (the cork itself stays set), so Drain cannot wedge on data the
+// pump is deliberately holding.
 func (e *Endpoint) Drain(p *sim.Proc) {
+	if e.queued > 0 {
+		e.flush = true
+		e.wakePump()
+	}
 	for e.sndBytes > 0 {
 		e.sndWait.Wait(p)
 	}

@@ -89,9 +89,27 @@ func (h *Host) charge(d sim.Duration, fn func()) {
 	h.eng.After(d, fn)
 }
 
-// Stats reports packet and byte counters.
+// Stats reports packet and byte counters. pktsOut counts data segments
+// this host put on the wire (acks and FINs are not data segments).
 func (h *Host) Stats() (pktsOut, pktsIn, bytesOut, bytesIn int64) {
 	return h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn
+}
+
+// ResetNetStats zeroes the packet and byte counters, so a measurement
+// window can exclude warmup traffic.
+func (h *Host) ResetNetStats() {
+	h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn = 0, 0, 0, 0
+}
+
+// MeanSegFill reports the mean payload fill of this host's transmitted
+// data segments as a fraction of the MSS (1.0 = every segment full) — the
+// packet-economy meter for the send-side coalescing path. 0 when the host
+// has sent nothing.
+func (h *Host) MeanSegFill() float64 {
+	if h.pktsOut == 0 {
+		return 0
+	}
+	return float64(h.bytesOut) / (float64(h.pktsOut) * MSS)
 }
 
 // Link is a full-duplex point-to-point link: each direction has independent

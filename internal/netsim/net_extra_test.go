@@ -51,8 +51,15 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 }
 
 func TestHostPacketCounters(t *testing.T) {
+	// A corked multi-write burst — header, body, trailer — packs into
+	// ⌈total/MSS⌉ data segments: the corked formula, not the sum of
+	// per-write ⌈n/MSS⌉ segmentations the pump used to emit.
 	r := newRig(false, nil, time.Millisecond)
-	const total = 64 << 10
+	sizes := []int{300, 64 << 10, 5}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
 	r.eng.Go("client", func(p *sim.Proc) {
 		conn := Dial(p, r.client, r.link, r.lst, ConnOpts{})
 		collect(p, conn.ClientEnd(), total)
@@ -60,19 +67,26 @@ func TestHostPacketCounters(t *testing.T) {
 	r.eng.Go("server", func(p *sim.Proc) {
 		conn := r.lst.Accept(p)
 		ep := conn.ServerEnd()
-		ep.Send(p, Payload{Data: pattern(total)}, nil)
+		ep.SetCork(true)
+		for _, n := range sizes {
+			ep.Send(p, Payload{Data: pattern(n)}, nil)
+		}
+		ep.SetCork(false)
 		ep.Drain(p)
 		ep.Close(p)
 	})
 	r.eng.Run()
 	pktsOut, _, bytesOut, _ := r.server.Stats()
 	wantPkts := int64((total + MSS - 1) / MSS)
-	if pktsOut != wantPkts || bytesOut != total {
+	if pktsOut != wantPkts || bytesOut != int64(total) {
 		t.Fatalf("server out: %d pkts/%d bytes, want %d/%d", pktsOut, bytesOut, wantPkts, total)
 	}
 	_, pktsIn, _, bytesIn := r.client.Stats()
-	if pktsIn != wantPkts || bytesIn != total {
+	if pktsIn != wantPkts || bytesIn != int64(total) {
 		t.Fatalf("client in: %d pkts/%d bytes", pktsIn, bytesIn)
+	}
+	if fill := r.server.MeanSegFill(); fill < 0.95 {
+		t.Fatalf("mean segment fill %.2f, want ≥0.95 for a corked burst", fill)
 	}
 }
 
