@@ -35,20 +35,29 @@ func main() {
 	fmt.Println("(same pool, same workload — only the worker transport changes)")
 	fmt.Println()
 
+	run := func(placement experiments.FCGINetPlacement, ref, ring bool) {
+		r := experiments.RunFCGINet(experiments.FCGINetParams{
+			Placement: placement,
+			Workers:   4,
+			Depth:     8,
+			Ref:       ref,
+			Ring:      ring,
+			Warmup:    300 * time.Millisecond,
+			Measure:   2 * time.Second,
+		})
+		fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%, %4.1f pkts/req, fill %.2f, %4.1f sys/req)\n",
+			r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+	}
 	for _, placement := range experiments.Placements {
 		for _, ref := range []bool{false, true} {
-			r := experiments.RunFCGINet(experiments.FCGINetParams{
-				Placement: placement,
-				Workers:   4,
-				Depth:     8,
-				Ref:       ref,
-				Warmup:    300 * time.Millisecond,
-				Measure:   2 * time.Second,
-			})
-			fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%, %4.1f pkts/req, fill %.2f)\n",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100, r.PktsPerReq, r.SegFill)
+			run(placement, ref, false)
 		}
 	}
+	// The submission-ring variant of the local socket: both ends of every
+	// worker channel batch record writes into one corked Submit and refill
+	// reads through coalesced ring ops — compare sys/req against the
+	// sock-local ref row above.
+	run(experiments.PlaceSockLocal, true, true)
 
 	fmt.Println()
 	fmt.Println("pipes charge framing only in ref mode; loopback TCP adds the per-packet")
@@ -58,4 +67,8 @@ func main() {
 	fmt.Println("pkts/req and segment fill meter the packet economy: the transport corks")
 	fmt.Println("adjacent records into MSS-sized segments, and send windows autotune to")
 	fmt.Println("depth × typical record, so the protocol tax is paid on full packets only.")
+	fmt.Println()
+	fmt.Println("sys/req meters kernel crossings: the ring row batches a whole mux cycle's")
+	fmt.Println("record I/O into one Submit + one Reap, taking the syscall installment of")
+	fmt.Println("the LAN tax back out.")
 }

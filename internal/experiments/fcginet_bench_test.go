@@ -13,38 +13,46 @@ import (
 //
 //	go test ./internal/experiments -bench=FCGINet -benchtime=1x
 
-func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref bool) {
+func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref, ring bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := RunFCGINet(FCGINetParams{
 			Placement: placement,
 			Ref:       ref,
+			Ring:      ring,
 			Warmup:    200 * time.Millisecond,
 			Measure:   time.Second,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f\n",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill)
+			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f, %.1f sys/req\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
 			b.ReportMetric(r.KReqPerSec, "kreq/s")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.CPUUtil*100, "cpu_pct")
 			b.ReportMetric(r.WorkerCPUUtil*100, "wkr_cpu_pct")
 			b.ReportMetric(r.PktsPerReq, "pkts/req")
 			b.ReportMetric(r.SegFill*100, "segfill_pct")
+			b.ReportMetric(r.SyscallsPerReq, "syscalls_per_req")
 		}
 	}
 }
 
 // BenchmarkFCGINetPipeCopy / PipeRef — the in-machine baseline.
-func BenchmarkFCGINetPipeCopy(b *testing.B) { benchFCGINet(b, PlacePipe, false) }
-func BenchmarkFCGINetPipeRef(b *testing.B)  { benchFCGINet(b, PlacePipe, true) }
+func BenchmarkFCGINetPipeCopy(b *testing.B) { benchFCGINet(b, PlacePipe, false, false) }
+func BenchmarkFCGINetPipeRef(b *testing.B)  { benchFCGINet(b, PlacePipe, true, false) }
 
 // BenchmarkFCGINetLocalCopy / LocalRef — loopback TCP: the protocol tax
 // without the boundary.
-func BenchmarkFCGINetLocalCopy(b *testing.B) { benchFCGINet(b, PlaceSockLocal, false) }
-func BenchmarkFCGINetLocalRef(b *testing.B)  { benchFCGINet(b, PlaceSockLocal, true) }
+func BenchmarkFCGINetLocalCopy(b *testing.B) { benchFCGINet(b, PlaceSockLocal, false, false) }
+func BenchmarkFCGINetLocalRef(b *testing.B)  { benchFCGINet(b, PlaceSockLocal, true, false) }
+
+// BenchmarkFCGINetLocalRefRing — the submission-ring variant of the local
+// socket: batched record writes and coalesced reads take the kernel-
+// crossing installment back out of the LAN tax (compare syscalls_per_req
+// and kreq/s against LocalRef, and kreq/s against PipeRef).
+func BenchmarkFCGINetLocalRefRing(b *testing.B) { benchFCGINet(b, PlaceSockLocal, true, true) }
 
 // BenchmarkFCGINetRemoteCopy / RemoteRef — workers on their own machine:
 // scale-out against the boundary copy and the wire.
-func BenchmarkFCGINetRemoteCopy(b *testing.B) { benchFCGINet(b, PlaceSockRemote, false) }
-func BenchmarkFCGINetRemoteRef(b *testing.B)  { benchFCGINet(b, PlaceSockRemote, true) }
+func BenchmarkFCGINetRemoteCopy(b *testing.B) { benchFCGINet(b, PlaceSockRemote, false, false) }
+func BenchmarkFCGINetRemoteRef(b *testing.B)  { benchFCGINet(b, PlaceSockRemote, true, false) }

@@ -72,6 +72,55 @@ func TestFCGINetLANTaxShapes(t *testing.T) {
 	}
 }
 
+// TestAcceptanceRingClosesSyscallGap is this PR's acceptance pin at the
+// experiment layer: ring-based sock-local ref fcgi at depth 16 pays at
+// most 1/4 of the per-op baseline's syscall charges per request, and the
+// saved kernel crossings show up as throughput — sock-local ref kreq/s
+// moves toward the pipe placement's figure.
+func TestAcceptanceRingClosesSyscallGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run acceptance study")
+	}
+	run := func(placement FCGINetPlacement, ring bool) FCGINetResult {
+		r := RunFCGINet(FCGINetParams{
+			Placement: placement,
+			Workers:   2,
+			Depth:     16,
+			Ref:       true,
+			Ring:      ring,
+			Warmup:    150 * time.Millisecond,
+			Measure:   600 * time.Millisecond,
+		})
+		if r.Failures != 0 || r.Requests == 0 {
+			t.Fatalf("%s: %d requests, %d failures", r.Label, r.Requests, r.Failures)
+		}
+		return r
+	}
+	base := run(PlaceSockLocal, false)
+	ring := run(PlaceSockLocal, true)
+	pipe := run(PlacePipe, false)
+
+	t.Logf("sock-local ref d=16: %.1f → %.1f sys/req, %.1f → %.1f kreq/s (pipe %.1f)",
+		base.SyscallsPerReq, ring.SyscallsPerReq, base.KReqPerSec, ring.KReqPerSec, pipe.KReqPerSec)
+	if ring.SyscallsPerReq > base.SyscallsPerReq/4 {
+		t.Errorf("ring pays %.1f sys/req vs %.1f baseline; want ≤ 1/4",
+			ring.SyscallsPerReq, base.SyscallsPerReq)
+	}
+	// "Improves toward the pipe figure": the sock-local machine is CPU-
+	// saturated, and most of its per-request budget is per-segment
+	// protocol work the ring cannot remove — the LAN tax's other
+	// installment. The kernel-crossing installment does come back out,
+	// though: a ≥10% throughput gain, not noise, with pipe still ahead.
+	if ring.KReqPerSec < 1.10*base.KReqPerSec {
+		t.Errorf("ring %.1f kreq/s vs baseline %.1f; want ≥ +10%% — saved syscalls didn't buy throughput",
+			ring.KReqPerSec, base.KReqPerSec)
+	}
+	if pipe.KReqPerSec <= ring.KReqPerSec {
+		t.Errorf("pipe %.1f kreq/s not above ring sock-local %.1f — the protocol path should still cost",
+			pipe.KReqPerSec, ring.KReqPerSec)
+	}
+}
+
 // TestFigFCGINetTable checks the figure assembles with the right axes:
 // every placement × mode at ≥2 worker counts, all serving.
 func TestFigFCGINetTable(t *testing.T) {
@@ -79,8 +128,8 @@ func TestFigFCGINetTable(t *testing.T) {
 		t.Skip("full figure")
 	}
 	tbl := FigFCGINet(Options{Quick: true})
-	if len(tbl.Rows) < 2 || len(tbl.Columns) != 6 {
-		t.Fatalf("table %dx%d, want ≥2 rows x 6 cols", len(tbl.Rows), len(tbl.Columns))
+	if len(tbl.Rows) < 2 || len(tbl.Columns) != 7 {
+		t.Fatalf("table %dx%d, want ≥2 rows x 7 cols", len(tbl.Rows), len(tbl.Columns))
 	}
 	for _, row := range tbl.Rows {
 		if len(row.Values) != len(tbl.Columns) {

@@ -70,6 +70,9 @@ type ProxyResult struct {
 	// once the cache is warm).
 	PktsPerReq float64
 	SegFill    float64
+	// SyscallsPerReq is the kernel crossings charged per request during
+	// measurement, topology-wide — the submission-ring meter.
+	SyscallsPerReq float64
 }
 
 // originMachineConfig builds the kernel config for an origin (or direct)
@@ -232,6 +235,7 @@ func RunProxy(pp ProxyParams) ProxyResult {
 		pkts, _, _, _ := serveMachine.Host.Stats()
 		if res.Requests > 0 {
 			res.PktsPerReq = float64(pkts) / float64(res.Requests)
+			res.SyscallsPerReq = float64(costs.MeterSyscallCount()) / float64(res.Requests)
 		}
 		res.SegFill = serveMachine.Host.MeanSegFill()
 	})
@@ -273,13 +277,13 @@ func FigProxy(opt Options) *Table {
 			r := RunProxy(ProxyParams{
 				Origin: sc, Mode: mode, Warmup: warm, Measure: meas, Seed: 7,
 			})
-			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f, %.1f pkts/req, fill %.2f)",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.PktsPerReq, r.SegFill)
+			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f, %.1f pkts/req, fill %.2f, %.1f sys/req)",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
 			row.Values = append(row.Values, r.Mbps)
 			if sc.Kind == httpd.FlashLite {
 				t.Notes = append(t.Notes, fmt.Sprintf(
-					"%s: copied %.1f MB, proxy cksum-cache hit rate %.2f, proxy hit rate %.2f, %.1f pkts/req, seg fill %.2f",
-					r.Label, r.CopiedMB, r.CksumHitRate, r.HitRate, r.PktsPerReq, r.SegFill))
+					"%s: copied %.1f MB, proxy cksum-cache hit rate %.2f, proxy hit rate %.2f, %.1f pkts/req, seg fill %.2f, %.1f sys/req",
+					r.Label, r.CopiedMB, r.CksumHitRate, r.HitRate, r.PktsPerReq, r.SegFill, r.SyscallsPerReq))
 			}
 		}
 		t.Rows = append(t.Rows, row)

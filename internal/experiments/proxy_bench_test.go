@@ -26,8 +26,8 @@ func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
 			Seed:    9,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f, %.1f pkts/req, fill %.2f\n",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil, r.PktsPerReq, r.SegFill)
+			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f, %.1f pkts/req, fill %.2f, %.1f sys/req\n",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
 			b.ReportMetric(r.Mbps, "Mbps")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.HitRate*100, "hit_pct")
@@ -35,6 +35,7 @@ func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
 			b.ReportMetric(r.ServerCPUUtil*100, "cpu_pct")
 			b.ReportMetric(r.PktsPerReq, "pkts/req")
 			b.ReportMetric(r.SegFill*100, "segfill_pct")
+			b.ReportMetric(r.SyscallsPerReq, "syscalls_per_req")
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"iolite/internal/core"
 	"iolite/internal/kernel"
 	"iolite/internal/sim"
+	"iolite/internal/uring"
 )
 
 // lock is a FIFO mutex for simulated processes. WriteRecord holds it
@@ -117,6 +118,16 @@ type Conn struct {
 	// never pay a setsockopt syscall.
 	corkable bool
 
+	// Submission-ring mode (EnableRing): outbound records queue on ringQ
+	// for the flusher process to batch through wring; inbound refills go
+	// through rring with receive coalescing. See ring.go.
+	ringOn     bool
+	ringClosed bool
+	wring      *uring.Ring
+	rring      *uring.Ring
+	ringQ      []*ringWrite
+	ringWake   sim.WaitQueue
+
 	recsIn, recsOut int64
 	writeErrs       int64
 }
@@ -188,6 +199,12 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 		}
 	} else {
 		rec.Length = uint32(n)
+	}
+	if c.ringOn {
+		// Ring mode needs no write lock: each queue entry is one whole
+		// framed record, so the flusher serializes at record granularity
+		// by construction.
+		return c.ringWriteRecord(p, rec, n)
 	}
 	c.wlock.acquire(p)
 	defer c.wlock.release()
@@ -276,13 +293,24 @@ func (c *Conn) cork(p *sim.Proc, on bool) {
 // are reassembled from aggregate deliveries; on a copy channel they are
 // reassembled from the byte stream.
 func (c *Conn) ReadRecord(p *sim.Proc) (Record, error) {
+	if c.ringOn {
+		// Ring reads coalesce deliveries, which merges what an atomic
+		// pipe would hand over as one-record aggregates — so every
+		// aggregate mode reassembles from the stream in ring mode (the
+		// headers are self-describing), and copy mode refills its byte
+		// buffer through the ring.
+		if c.rmode == WireCopy {
+			return c.readCopyRecord(p, c.ringFill)
+		}
+		return c.readStreamRecord(p, c.ringFillAgg)
+	}
 	switch {
 	case c.rmode == WireRef:
 		return c.readAtomicRecord(p)
 	case c.rmode.streamRead():
-		return c.readStreamRecord(p)
+		return c.readStreamRecord(p, c.fillAgg)
 	}
-	return c.readCopyRecord(p)
+	return c.readCopyRecord(p, c.fill)
 }
 
 // readAtomicRecord takes one whole record per reference-pipe aggregate.
@@ -320,9 +348,11 @@ func (c *Conn) readAtomicRecord(p *sim.Proc) (Record, error) {
 // delivery may hold several records). The payload keeps its buffer
 // identity: on a same-machine reference socket those are the sender's
 // sealed buffers, across a machine boundary they are the receive buffers
-// early demultiplexing filled — in both cases zero copy charge here.
-func (c *Conn) readStreamRecord(p *sim.Proc) (Record, error) {
-	if err := c.fillAgg(p, HeaderLen); err != nil {
+// early demultiplexing filled — in both cases zero copy charge here. The
+// fill argument is what refills rAgg: direct per-delivery reads
+// (fillAgg) or coalesced ring reads (ringFillAgg).
+func (c *Conn) readStreamRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (Record, error) {
+	if err := fill(p, HeaderLen); err != nil {
 		return Record{}, err
 	}
 	var hb [HeaderLen]byte
@@ -338,7 +368,7 @@ func (c *Conn) readStreamRecord(p *sim.Proc) (Record, error) {
 	// The header stays buffered until the whole record has arrived, so a
 	// peer that dies between a record's header and its payload reports
 	// io.ErrUnexpectedEOF (a torn record), never a clean end of stream.
-	if err := c.fillAgg(p, HeaderLen+want); err != nil {
+	if err := fill(p, HeaderLen+want); err != nil {
 		return Record{}, err
 	}
 	c.rAgg.DropFront(HeaderLen)
@@ -372,9 +402,9 @@ func (c *Conn) fillAgg(p *sim.Proc, n int) error {
 }
 
 // readCopyRecord reassembles one record from the conventional byte
-// stream.
-func (c *Conn) readCopyRecord(p *sim.Proc) (Record, error) {
-	if err := c.fill(p, HeaderLen); err != nil {
+// stream, refilling rbuf through fill (direct reads or the ring).
+func (c *Conn) readCopyRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (Record, error) {
+	if err := fill(p, HeaderLen); err != nil {
 		return Record{}, err
 	}
 	h, err := parseHeader(c.rbuf[:HeaderLen])
@@ -385,7 +415,7 @@ func (c *Conn) readCopyRecord(p *sim.Proc) (Record, error) {
 	if h.Type == RecEnd {
 		want = 0
 	}
-	if err := c.fill(p, HeaderLen+want); err != nil {
+	if err := fill(p, HeaderLen+want); err != nil {
 		return Record{}, err
 	}
 	var pay []byte
@@ -424,6 +454,13 @@ func (c *Conn) Close(p *sim.Proc) {
 	if c.rAgg != nil {
 		c.rAgg.Release()
 		c.rAgg = nil
+	}
+	if c.ringOn && !c.ringClosed {
+		// Stop the flusher: new writes fail fast, queued records fail
+		// against the closing fd, and the flusher process exits once its
+		// queue is dry.
+		c.ringClosed = true
+		c.ringWake.Wake(1)
 	}
 	c.m.Close(p, c.pr, c.wfd)
 	if c.rfd != c.wfd {

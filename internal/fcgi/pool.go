@@ -32,6 +32,13 @@ type PoolConfig struct {
 	// configuration; keep its ref setting consistent with Ref so
 	// handlers and channels agree.
 	Transport Transport
+	// Ring routes both ends of every worker channel through submission
+	// rings (Conn.EnableRing): record writes from the mux's concurrent
+	// requests batch into one Submit+Reap cycle, and reads refill with
+	// coalesced ring reads, so a depth-D channel under load pays O(1)
+	// syscall charges per cycle instead of one per record and one per
+	// delivery.
+	Ring bool
 	// Respawn enables worker supervision: when a worker's channel
 	// breaks, the pool re-establishes it over the transport with a fresh
 	// worker process and routes new requests to the replacement.
@@ -173,6 +180,10 @@ func (wp *WorkerPool) spawn(idx, gen int) *Worker {
 		name = fmt.Sprintf("%s.g%d", name, gen)
 	}
 	ch := wp.transport.Connect(idx, name)
+	if wp.cfg.Ring {
+		ch.ServerConn.EnableRing()
+		ch.WorkerConn.EnableRing()
+	}
 	w := &Worker{
 		ID:   idx,
 		Gen:  gen,

@@ -1,0 +1,242 @@
+package fcgi
+
+import (
+	"fmt"
+	"io"
+
+	"iolite/internal/core"
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+	"iolite/internal/uring"
+)
+
+// Ring mode routes a connection's record I/O through submission rings.
+// Writers no longer pay one syscall per record: WriteRecord queues the
+// framed record and parks; a flusher process gathers every queued record —
+// across all the mux's concurrent requests — and moves the whole batch
+// with one Submit and one Reap, so a depth-D connection under load pays
+// O(1) syscalls per flush cycle instead of O(D). Reads refill through a
+// ring too: one Submit+Reap pair ingests every delivery the channel has
+// ready (the ring's receive coalescing), where the direct path paid one
+// syscall per MSS-sized delivery.
+//
+// Framing charges (header packing, ref-mode concatenation, copy-mode
+// staging) stay on the calling process exactly as on the direct path —
+// the ring batches syscalls, not work. Per-record error reporting also
+// survives: each queued record learns its own op's outcome, so the mux's
+// ErrNotSent contract (a failed BEGIN/PARAMS write means the request never
+// reached the worker) holds unchanged.
+
+// ringWrite is one queued outbound record awaiting the flusher.
+type ringWrite struct {
+	agg *core.Agg // ref-mode framed record; ownership passes to the ring
+	hdr []byte    // serialized modes: the 8 header bytes
+	pay []byte    // serialized modes: payload bytes (nil for END)
+
+	done bool
+	err  error
+	wake sim.WaitQueue
+}
+
+// EnableRing switches the connection to submission-ring I/O. Call it at
+// channel setup, before any records move; it is idempotent. The flusher
+// process it starts exits when the connection closes.
+func (c *Conn) EnableRing() {
+	if c.ringOn {
+		return
+	}
+	c.ringOn = true
+	c.wring = uring.New(c.m, c.pr)
+	c.rring = uring.New(c.m, c.pr)
+	c.m.Eng.Go(fmt.Sprintf("fcgi.ringflush%d", c.id), c.ringFlusher)
+}
+
+// RingStats reports ops carried and Submit/Reap syscalls across both of
+// the connection's rings — the batching ratio ring mode exists to raise.
+// Zeros when ring mode is off.
+func (c *Conn) RingStats() (ops, submits, reaps int64) {
+	if !c.ringOn {
+		return 0, 0, 0
+	}
+	for _, r := range []*uring.Ring{c.wring, c.rring} {
+		o, s, rp := r.Stats()
+		ops, submits, reaps = ops+o, submits+s, reaps+rp
+	}
+	return ops, submits, reaps
+}
+
+// ringWriteRecord frames rec (charged to the caller, like the direct
+// path), queues it, and parks until the flusher reports the op's outcome.
+// Ownership follows WriteRecord's contract: rec.Agg passes to the
+// connection on success and stays the caller's on error (a failed ref-mode
+// op releases the framed aggregate — and with it the Concat references —
+// inside the ring).
+func (c *Conn) ringWriteRecord(p *sim.Proc, rec Record, n int) error {
+	if c.ringClosed {
+		c.writeErrs++
+		return kernel.ErrClosed
+	}
+	var hdr [HeaderLen]byte
+	rec.Header.encode(hdr[:])
+
+	w := &ringWrite{}
+	if c.wmode.refWrite() {
+		out := c.packHeader(p, hdr[:])
+		if rec.Agg != nil {
+			out.Concat(rec.Agg)
+		} else if len(rec.Bytes) > 0 {
+			pay := core.PackBytes(p, c.pr.Pool, rec.Bytes)
+			out.Concat(pay)
+			pay.Release()
+		}
+		w.agg = out
+	} else {
+		w.hdr = append([]byte(nil), hdr[:]...)
+		if n > 0 {
+			pay := rec.Bytes
+			if rec.Agg != nil {
+				if c.wmode == WireBoundary {
+					c.m.Host.Use(p, sim.Duration(rec.Agg.NumSlices())*c.m.Costs.AggOp)
+				} else {
+					c.m.Host.Use(p, c.m.Costs.Copy(n))
+				}
+				pay = rec.Agg.Materialize()
+			}
+			w.pay = pay
+		}
+	}
+
+	c.ringQ = append(c.ringQ, w)
+	c.ringWake.Wake(1)
+	for !w.done {
+		w.wake.Wait(p)
+	}
+	if w.err != nil {
+		c.writeErrs++
+		return w.err
+	}
+	if rec.Agg != nil {
+		rec.Agg.Release() // the framed record's Concat reference survives
+	}
+	c.recsOut++
+	return nil
+}
+
+// ringFlusher is the connection's write-batching process: park until
+// records queue, then move the whole queue in one Submit + one Reap. The
+// cork pair rides the same submission on corkable channels, so a batch of
+// serialized records coalesces into full segments exactly as the direct
+// path's per-record corking arranged.
+func (c *Conn) ringFlusher(p *sim.Proc) {
+	for {
+		for len(c.ringQ) == 0 && !c.ringClosed {
+			c.ringWake.Wait(p)
+		}
+		if len(c.ringQ) == 0 {
+			return // closed and drained
+		}
+		batch := c.ringQ
+		c.ringQ = nil
+
+		if c.corkable {
+			c.wring.PrepCork(c.wfd, true)
+		}
+		toks := make(map[uint64]*ringWrite, 2*len(batch))
+		for _, w := range batch {
+			if w.agg != nil {
+				toks[c.wring.PrepIOLWrite(c.wfd, w.agg)] = w
+			} else {
+				toks[c.wring.PrepWritePOSIX(c.wfd, w.hdr)] = w
+				if len(w.pay) > 0 {
+					toks[c.wring.PrepWritePOSIX(c.wfd, w.pay)] = w
+				}
+			}
+		}
+		if c.corkable {
+			c.wring.PrepCork(c.wfd, false)
+		}
+
+		want := c.wring.Submit(p)
+		for collected := 0; collected < want; {
+			cqes := c.wring.Reap(p, want-collected)
+			if len(cqes) == 0 {
+				break // nothing in flight: every op accounted for
+			}
+			collected += len(cqes)
+			for _, cqe := range cqes {
+				w := toks[cqe.Token]
+				if w == nil {
+					continue // cork toggles: advisory, as on the direct path
+				}
+				if cqe.Err != nil && w.err == nil {
+					w.err = cqe.Err
+				}
+			}
+		}
+		for _, w := range batch {
+			w.done = true
+			w.wake.Wake(1)
+		}
+	}
+}
+
+// ringFillAgg refills the aggregate reassembly buffer through the read
+// ring: one Submit + one Reap per refill, with the ring's receive
+// coalescing folding every ready delivery into a single completion and
+// the MSG_WAITALL threshold (Need = the bytes still missing) keeping the
+// op in flight until the record can complete — a 16 KB record arriving as
+// a dozen MSS deliveries costs one refill, not a dozen reads. Ring mode
+// reassembles ALL aggregate wire modes from the stream — coalescing
+// merges what an atomic pipe would deliver as one-record aggregates, and
+// the self-describing headers make the stream decoder correct for both.
+func (c *Conn) ringFillAgg(p *sim.Proc, n int) error {
+	for c.rAgg == nil || c.rAgg.Len() < n {
+		have := int64(0)
+		if c.rAgg != nil {
+			have = int64(c.rAgg.Len())
+		}
+		c.rring.PrepIOLReadFull(c.rfd, int64(n)-have, kernel.MaxIO)
+		c.rring.Submit(p)
+		for _, cqe := range c.rring.Reap(p, 1) {
+			if cqe.Err != nil {
+				if cqe.Err == io.EOF && c.rAgg != nil && c.rAgg.Len() > 0 {
+					return io.ErrUnexpectedEOF
+				}
+				return cqe.Err
+			}
+			if c.rAgg == nil {
+				c.rAgg = cqe.Agg
+			} else {
+				c.rAgg.Concat(cqe.Agg)
+				cqe.Agg.Release()
+			}
+		}
+	}
+	return nil
+}
+
+// ringFill is ringFillAgg's copy-mode sibling: refill the byte
+// reassembly buffer with one coalesced ring read.
+func (c *Conn) ringFill(p *sim.Proc, n int) error {
+	for len(c.rbuf) < n {
+		if c.scratch == nil {
+			c.scratch = make([]byte, 16<<10)
+		}
+		need := int64(n - len(c.rbuf))
+		if need > int64(len(c.scratch)) {
+			need = int64(len(c.scratch))
+		}
+		c.rring.PrepReadPOSIXFull(c.rfd, need, c.scratch)
+		c.rring.Submit(p)
+		for _, cqe := range c.rring.Reap(p, 1) {
+			if cqe.Err != nil {
+				if cqe.Err == io.EOF && len(c.rbuf) > 0 {
+					return io.ErrUnexpectedEOF
+				}
+				return cqe.Err
+			}
+			c.rbuf = append(c.rbuf, c.scratch[:cqe.Res]...)
+		}
+	}
+	return nil
+}

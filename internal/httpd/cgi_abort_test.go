@@ -30,9 +30,12 @@ func TestCGIWorkerPipeErrorCountsAborted(t *testing.T) {
 				}, &st)
 			})
 			b.eng.Go("breaker", func(p *sim.Proc) {
-				// Let the request reach a worker, then tear the pool down
-				// mid-response.
-				p.Sleep(500 * time.Microsecond)
+				// Let the request reach a worker and its handler start (the
+				// event loop's readiness syscalls shift arrival by a few
+				// microseconds past the old 500µs mark), then tear the pool
+				// down mid-response — the 1 MB document keeps the response
+				// in flight for several milliseconds.
+				p.Sleep(1 * time.Millisecond)
 				b.srv.cgi.pool.Close(p)
 			})
 			b.eng.Run()

@@ -10,6 +10,7 @@ import (
 	"iolite/internal/mem"
 	"iolite/internal/netsim"
 	"iolite/internal/sim"
+	"iolite/internal/uring"
 )
 
 // Kind selects the server implementation.
@@ -112,6 +113,14 @@ type Server struct {
 	slots    int
 	slotWait sim.WaitQueue
 
+	// Event-loop state (Flash-family kinds; see eventloop.go). Apache
+	// keeps its process-per-connection path and never touches these.
+	po      *uring.Poller
+	ring    *uring.Ring
+	conns   map[int]*connState
+	tokens  map[uint64]connToken
+	lclosed bool
+
 	cgi *cgiPool
 
 	requests   int64
@@ -141,7 +150,16 @@ func NewServer(cfg Config) *Server {
 		}
 		s.cgi = newCGIPool(s, n, d)
 	}
-	s.m.Eng.Go("httpd.accept", s.acceptLoop)
+	if cfg.Kind == Apache {
+		// Process per connection: the accept loop forks a handler proc for
+		// every arrival — Apache's architectural identity.
+		s.m.Eng.Go("httpd.accept", s.acceptLoop)
+	} else {
+		// Flash's actual architecture: one readiness-driven event loop
+		// multiplexing every connection, response I/O batched through the
+		// submission ring (eventloop.go).
+		s.m.Eng.Go("httpd.loop", s.eventLoop)
+	}
 	return s
 }
 

@@ -46,6 +46,12 @@ type Pipe struct {
 	wClosed bool
 	rClosed bool
 
+	// rNotify/wNotify fire (if set) whenever the read/write side becomes
+	// ready: data or EOF for the reader, space or EPIPE for the writer.
+	// Readiness descriptors hang their poll wakeups here.
+	rNotify func()
+	wNotify func()
+
 	kernPages int // TagSockBuf-style accounting of the kernel pipe buffer
 
 	bytesMoved  int64
@@ -117,7 +123,6 @@ func (pp *Pipe) Write(p *sim.Proc, data []byte) {
 	if pp.wClosed {
 		panic("ipcsim: write on closed pipe")
 	}
-	pp.use(p, pp.costs.Syscall)
 	for off := 0; off < len(data); {
 		for pp.bytes >= pp.cap {
 			if pp.rClosed {
@@ -146,6 +151,7 @@ func (pp *Pipe) Write(p *sim.Proc, data []byte) {
 		pp.copiesMoved += int64(take)
 		pp.accountKernBuf()
 		pp.readers.Wake(-1)
+		pp.noteReadable()
 		off += take
 	}
 }
@@ -156,9 +162,10 @@ func (pp *Pipe) Read(p *sim.Proc, dst []byte) int {
 	if pp.mode != ModeCopy {
 		panic("ipcsim: Read on ref-mode pipe; use ReadAgg")
 	}
-	pp.use(p, pp.costs.Syscall)
 	for pp.bytes == 0 {
-		if pp.wClosed {
+		if pp.wClosed || pp.rClosed {
+			// EOF, or this end itself was closed while we were blocked (a
+			// concurrent Close of the read fd): nothing left to consume.
 			return 0
 		}
 		pp.block(p, &pp.readers)
@@ -175,20 +182,20 @@ func (pp *Pipe) Read(p *sim.Proc, dst []byte) int {
 	pp.copiesMoved += int64(n)
 	pp.accountKernBuf()
 	pp.writers.Wake(-1)
+	pp.noteWritable()
 	return n
 }
 
-// WriteAgg sends an aggregate down a ref-mode pipe by reference: one
-// syscall, pointer manipulation per slice, and (first time per chunk) a
-// read grant for the reader's domain. Ownership of agg transfers to the
-// pipe. Panics on a copy-mode pipe.
+// WriteAgg sends an aggregate down a ref-mode pipe by reference: pointer
+// manipulation per slice and (first time per chunk) a read grant for the
+// reader's domain. Ownership of agg transfers to the pipe. Panics on a
+// copy-mode pipe. The syscall that carried the write is charged by the
+// descriptor layer's entry point, not here.
 func (pp *Pipe) WriteAgg(p *sim.Proc, agg *core.Agg) {
-	pp.use(p, pp.costs.Syscall)
 	pp.PutAgg(p, agg)
 }
 
-// PutAgg is WriteAgg without the syscall entry charge — the kernel-internal
-// enqueue the splice path uses (the splice syscall was already charged). It
+// PutAgg is the kernel-internal enqueue (also used by the splice path). It
 // reports false when the reader is gone and the aggregate was discarded
 // (the caller's EPIPE).
 func (pp *Pipe) PutAgg(p *sim.Proc, agg *core.Agg) bool {
@@ -215,24 +222,24 @@ func (pp *Pipe) PutAgg(p *sim.Proc, agg *core.Agg) bool {
 	pp.bytes += n
 	pp.bytesMoved += int64(n)
 	pp.readers.Wake(-1)
+	pp.noteReadable()
 	return true
 }
 
 // ReadAgg receives the next aggregate from a ref-mode pipe (nil at EOF).
-// The caller owns the returned aggregate.
+// The caller owns the returned aggregate. As with WriteAgg, the carrying
+// syscall is charged at the descriptor boundary.
 func (pp *Pipe) ReadAgg(p *sim.Proc) *core.Agg {
-	pp.use(p, pp.costs.Syscall)
 	return pp.TakeAgg(p)
 }
 
-// TakeAgg is ReadAgg without the syscall entry charge (the kernel-internal
-// dequeue used by the splice path).
+// TakeAgg is the kernel-internal dequeue (also used by the splice path).
 func (pp *Pipe) TakeAgg(p *sim.Proc) *core.Agg {
 	if pp.mode != ModeRef {
 		panic("ipcsim: TakeAgg on copy-mode pipe; use Read")
 	}
 	for len(pp.aggs) == 0 {
-		if pp.wClosed {
+		if pp.wClosed || pp.rClosed {
 			return nil
 		}
 		pp.block(p, &pp.readers)
@@ -242,6 +249,7 @@ func (pp *Pipe) TakeAgg(p *sim.Proc) *core.Agg {
 	pp.bytes -= a.Len()
 	pp.use(p, sim.Duration(a.NumSlices())*pp.costs.AggOp)
 	pp.writers.Wake(-1)
+	pp.noteWritable()
 	return a
 }
 
@@ -254,7 +262,6 @@ func (pp *Pipe) ReadClosed() bool { return pp.rClosed }
 // CloseRead marks the reader gone: buffered data is discarded and blocked
 // writers wake (their remaining writes are dropped — the simulated EPIPE).
 func (pp *Pipe) CloseRead(p *sim.Proc) {
-	pp.use(p, pp.costs.Syscall)
 	pp.rClosed = true
 	pp.buf = nil
 	for _, a := range pp.aggs {
@@ -264,17 +271,66 @@ func (pp *Pipe) CloseRead(p *sim.Proc) {
 	pp.bytes = 0
 	pp.accountKernBuf()
 	pp.writers.Wake(-1)
+	// A reader blocked on this very pipe (a ring worker executing a read op
+	// while the application closes the fd) must wake too, to observe EOF.
+	pp.readers.Wake(-1)
+	pp.noteWritable()
+	pp.noteReadable()
 }
 
 // CloseWrite marks end of stream; blocked readers see EOF once drained.
 func (pp *Pipe) CloseWrite(p *sim.Proc) {
-	pp.use(p, pp.costs.Syscall)
 	pp.wClosed = true
 	pp.readers.Wake(-1)
+	pp.noteReadable()
 }
 
 // Stats reports total bytes moved, bytes physically copied, and blocking
 // context switches.
 func (pp *Pipe) Stats() (moved, copied, switches int64) {
 	return pp.bytesMoved, pp.copiesMoved, pp.switches
+}
+
+// ReadReady reports whether a read right now would complete without
+// parking: data is buffered, or EOF/teardown is observable.
+func (pp *Pipe) ReadReady() bool {
+	if pp.mode == ModeCopy {
+		return pp.bytes > 0 || pp.wClosed || pp.rClosed
+	}
+	return len(pp.aggs) > 0 || pp.wClosed || pp.rClosed
+}
+
+// CanWrite reports whether writing n bytes right now would be admitted
+// without parking, mirroring each mode's admission rule (copy mode admits
+// piecewise into free room; ref mode admits whole aggregates when the pipe
+// is empty or the result fits the cap). Closed pipes never block — the
+// write errors instead.
+func (pp *Pipe) CanWrite(n int) bool {
+	if pp.rClosed || pp.wClosed {
+		return true
+	}
+	if pp.mode == ModeCopy {
+		return pp.bytes+n <= pp.cap
+	}
+	return pp.bytes == 0 || pp.bytes+n <= pp.cap
+}
+
+// SetReadNotify registers fn to fire whenever the read side becomes ready
+// (data arrives, the writer closes, or this end closes).
+func (pp *Pipe) SetReadNotify(fn func()) { pp.rNotify = fn }
+
+// SetWriteNotify registers fn to fire whenever the write side becomes
+// ready (space frees, or the reader departs).
+func (pp *Pipe) SetWriteNotify(fn func()) { pp.wNotify = fn }
+
+func (pp *Pipe) noteReadable() {
+	if pp.rNotify != nil {
+		pp.rNotify()
+	}
+}
+
+func (pp *Pipe) noteWritable() {
+	if pp.wNotify != nil {
+		pp.wNotify()
+	}
 }

@@ -33,6 +33,10 @@ var (
 	ErrNotSupported = errors.New("kernel: operation not supported by descriptor")
 	// ErrNotExist reports an Open of a name that does not resolve.
 	ErrNotExist = errors.New("kernel: no such file")
+	// ErrAgain reports that a non-blocking operation would have parked the
+	// process (EAGAIN): nothing to read, no room to write, no pending
+	// connection to accept. Retry when readiness says so.
+	ErrAgain = errors.New("kernel: operation would block")
 )
 
 // MaxIO is a read length that exceeds any queued data: IOL_read with
@@ -82,9 +86,12 @@ func (k DescKind) String() string {
 // proxy splices, multi-backend fan-outs) plug in by implementing Desc and
 // installing with Process.Install — no new Machine methods required.
 //
-// Cost accounting contract: each method charges its own syscall and data
-// costs exactly as the typed paths it replaces did, so the dispatch layer
-// adds no simulated overhead and the paper's calibration is preserved.
+// Cost accounting contract: the Machine entry points (IOLRead, IOLWrite,
+// ReadPOSIX, WritePOSIX, Seek, Close, Accept, Splice...) charge exactly one
+// syscall at the boundary; Desc methods charge only data costs (copies,
+// aggregate ops, cache work). This split is what lets the submission ring
+// execute N descriptor operations behind a single charged Submit/Reap pair
+// without changing any per-byte accounting.
 type Desc interface {
 	// Kind reports the descriptor's flavor.
 	Kind() DescKind
@@ -245,6 +252,9 @@ func (m *Machine) Accept(p *sim.Proc, pr *Process, lfd int) (int, error) {
 	if !ok {
 		return -1, ErrNotSupported
 	}
+	if ld.nonblock && ld.lst.Pending() == 0 && !ld.lst.Closed() {
+		return -1, ErrAgain
+	}
 	conn := ld.lst.Accept(p)
 	if conn == nil {
 		return -1, ErrClosed
@@ -255,8 +265,13 @@ func (m *Machine) Accept(p *sim.Proc, pr *Process, lfd int) (int, error) {
 // Connect dials from this machine over link to a listener and installs a
 // socket descriptor for the client-side endpoint — the seam for proxy and
 // multi-tier scenarios where a server process is itself a client.
+// ErrClosed when the listener has shut down (the dial's SYN meets no
+// acceptor).
 func (m *Machine) Connect(p *sim.Proc, pr *Process, link *netsim.Link, lst *netsim.Listener, opts netsim.ConnOpts) (int, error) {
 	conn := netsim.Dial(p, m.Host, link, lst, opts)
+	if conn == nil {
+		return -1, ErrClosed
+	}
 	return pr.Install(&sockDesc{m: m, ep: conn.ClientEnd()}), nil
 }
 
@@ -283,6 +298,7 @@ func (m *Machine) Dup(p *sim.Proc, pr *Process, fd int) (int, error) {
 // Close removes fd from the table; when it is the entry's last reference,
 // the underlying object (pipe end, socket, file) is closed too.
 func (m *Machine) Close(p *sim.Proc, pr *Process, fd int) error {
+	m.syscall(p)
 	e, err := pr.entry(fd)
 	if err != nil {
 		return err
@@ -290,7 +306,6 @@ func (m *Machine) Close(p *sim.Proc, pr *Process, fd int) error {
 	pr.fds[fd] = nil
 	e.refs--
 	if e.refs > 0 {
-		m.syscall(p)
 		return nil
 	}
 	return e.d.Close(p)
@@ -314,9 +329,9 @@ func (m *Machine) Seek(p *sim.Proc, pr *Process, fd int, off int64, whence int) 
 // references for pipes, early-demultiplexed packet buffers for sockets.
 // io.EOF at end of stream.
 func (m *Machine) IOLRead(p *sim.Proc, pr *Process, fd int, n int64) (*core.Agg, error) {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
-		m.syscall(p)
 		return nil, err
 	}
 	return d.ReadAgg(p, pr, n)
@@ -334,14 +349,13 @@ type PReader interface {
 // concurrent readers. ErrNotSupported on stream descriptors. The syscall
 // that was made is charged on every path, success or error.
 func (m *Machine) IOLReadAt(p *sim.Proc, pr *Process, fd int, off, n int64) (*core.Agg, error) {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
-		m.syscall(p)
 		return nil, err
 	}
 	pd, ok := d.(PReader)
 	if !ok {
-		m.syscall(p)
 		return nil, ErrNotSupported
 	}
 	return pd.ReadAggAt(p, pr, off, n)
@@ -351,9 +365,9 @@ func (m *Machine) IOLReadAt(p *sim.Proc, pr *Process, fd int, off, n int64) (*co
 // descriptor fd, by reference. Ownership of a transfers to the kernel on
 // success; on error the caller still owns it.
 func (m *Machine) IOLWrite(p *sim.Proc, pr *Process, fd int, a *core.Agg) error {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
-		m.syscall(p)
 		return err
 	}
 	return d.WriteAgg(p, pr, a)
@@ -363,9 +377,9 @@ func (m *Machine) IOLWrite(p *sim.Proc, pr *Process, fd int, a *core.Agg) error 
 // copied into the caller's buffer with the copy charged (§4.2). io.EOF at
 // end of stream.
 func (m *Machine) ReadPOSIX(p *sim.Proc, pr *Process, fd int, dst []byte) (int, error) {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
-		m.syscall(p)
 		return 0, err
 	}
 	return d.ReadCopy(p, pr, dst)
@@ -375,9 +389,9 @@ func (m *Machine) ReadPOSIX(p *sim.Proc, pr *Process, fd int, dst []byte) (int, 
 // caller's bytes are copied in (charged) and then follow the zero-copy
 // path.
 func (m *Machine) WritePOSIX(p *sim.Proc, pr *Process, fd int, src []byte) (int, error) {
+	m.syscall(p)
 	d, err := pr.Desc(fd)
 	if err != nil {
-		m.syscall(p)
 		return 0, err
 	}
 	return d.WriteCopy(p, pr, src)

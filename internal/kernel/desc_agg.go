@@ -58,7 +58,6 @@ func (d *aggDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) 
 
 // ReadAggAt is the PReader capability: a positional IOL_read of the object.
 func (d *aggDesc) ReadAggAt(p *sim.Proc, pr *Process, off, n int64) (*core.Agg, error) {
-	d.m.syscall(p)
 	a := d.rng(off, n)
 	if a == nil {
 		return nil, io.EOF
@@ -88,12 +87,10 @@ func (d *aggDesc) SpliceOutAt(_ *sim.Proc, off, n int64) (*core.Agg, error) {
 }
 
 func (d *aggDesc) WriteAgg(p *sim.Proc, _ *Process, _ *core.Agg) error {
-	d.m.syscall(p)
 	return ErrNotSupported
 }
 
 func (d *aggDesc) ReadCopy(p *sim.Proc, _ *Process, dst []byte) (int, error) {
-	d.m.syscall(p)
 	if d.off >= int64(d.a.Len()) {
 		return 0, io.EOF
 	}
@@ -104,7 +101,6 @@ func (d *aggDesc) ReadCopy(p *sim.Proc, _ *Process, dst []byte) (int, error) {
 }
 
 func (d *aggDesc) WriteCopy(p *sim.Proc, _ *Process, _ []byte) (int, error) {
-	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
 
@@ -126,7 +122,6 @@ func (d *aggDesc) Seek(off int64, whence int) (int64, error) {
 }
 
 func (d *aggDesc) Close(p *sim.Proc) error {
-	d.m.syscall(p)
 	d.a.Release()
 	return nil
 }

@@ -48,13 +48,12 @@ func (d *fileDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error)
 // capability.
 func (d *fileDesc) ReadAggAt(p *sim.Proc, pr *Process, off, n int64) (*core.Agg, error) {
 	if off >= d.f.Size() {
-		d.m.syscall(p)
 		return nil, io.EOF
 	}
 	if d.pool != nil {
-		return d.m.IOLReadPool(p, pr, d.pool, d.f, off, n), nil
+		return d.m.iolReadPool(p, pr, d.pool, d.f, off, n), nil
 	}
-	return d.m.IOLReadFile(p, pr, d.f, off, n), nil
+	return d.m.iolReadFile(p, pr, d.f, off, n), nil
 }
 
 // SpliceOut is the cursor-advancing splice source: the extent comes out of
@@ -82,7 +81,7 @@ func (d *fileDesc) SpliceOutAt(p *sim.Proc, off, n int64) (*core.Agg, error) {
 
 func (d *fileDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 	n := int64(a.Len())
-	d.m.IOLWriteFile(p, pr, d.f, d.off, a)
+	d.m.iolWriteFile(p, pr, d.f, d.off, a)
 	// The generic IOL_write transfers ownership; the cache holds its own
 	// references, so the caller's goes away here.
 	a.Release()
@@ -92,16 +91,15 @@ func (d *fileDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 
 func (d *fileDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 	if d.off >= d.f.Size() {
-		d.m.syscall(p)
 		return 0, io.EOF
 	}
-	n := d.m.ReadPOSIXFile(p, pr, d.f, d.off, dst)
+	n := d.m.readPOSIXFile(p, pr, d.f, d.off, dst)
 	d.off += int64(n)
 	return n, nil
 }
 
 func (d *fileDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
-	d.m.WritePOSIXFile(p, pr, d.f, d.off, src)
+	d.m.writePOSIXFile(p, pr, d.f, d.off, src)
 	d.off += int64(len(src))
 	return len(src), nil
 }
@@ -123,7 +121,4 @@ func (d *fileDesc) Seek(off int64, whence int) (int64, error) {
 	return d.off, nil
 }
 
-func (d *fileDesc) Close(p *sim.Proc) error {
-	d.m.syscall(p)
-	return nil
-}
+func (d *fileDesc) Close(p *sim.Proc) error { return nil }

@@ -22,6 +22,10 @@ type pipeDesc struct {
 	// pending holds the tail of a received aggregate that exceeded the
 	// reader's requested length; the next read continues from it.
 	pending *core.Agg
+
+	// nonblock makes reads and writes return ErrAgain instead of parking
+	// (O_NONBLOCK); readiness loops set it via Machine.SetNonblock.
+	nonblock bool
 }
 
 func (d *pipeDesc) Kind() DescKind { return KindPipe }
@@ -45,11 +49,9 @@ func PipeOf(d Desc) (*ipcsim.Pipe, bool) {
 // nil means end of stream. On a copy-mode pipe the drained bytes are
 // wrapped into an aggregate from pr's default pool without an extra
 // charge: the pipe already charged the copy that landed them in the
-// process. A pending hit still charges its syscall — it is a distinct
-// kernel crossing from the caller's point of view.
+// process.
 func (d *pipeDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
 	if d.pending != nil {
-		d.m.syscall(p)
 		a := d.pending
 		d.pending = nil
 		return a
@@ -65,10 +67,17 @@ func (d *pipeDesc) takeAgg(p *sim.Proc, pr *Process) *core.Agg {
 	return core.PackBytes(nil, pr.Pool, buf[:n])
 }
 
+// readWouldBlock reports whether a read right now would park the proc.
+func (d *pipeDesc) readWouldBlock() bool {
+	return d.pending == nil && !d.pp.ReadReady()
+}
+
 func (d *pipeDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
 	if d.write {
-		d.m.syscall(p)
 		return nil, ErrNotSupported
+	}
+	if d.nonblock && d.readWouldBlock() {
+		return nil, ErrAgain
 	}
 	a := d.takeAgg(p, pr)
 	if a == nil {
@@ -118,12 +127,13 @@ func (d *pipeDesc) SpliceIn(p *sim.Proc, a *core.Agg) error {
 
 func (d *pipeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 	if !d.write {
-		d.m.syscall(p)
 		return ErrNotSupported
 	}
 	if d.pp.WriteClosed() || d.pp.ReadClosed() {
-		d.m.syscall(p)
 		return ErrClosed
+	}
+	if d.nonblock && !d.pp.CanWrite(a.Len()) {
+		return ErrAgain
 	}
 	if d.pp.Mode() == ipcsim.ModeRef {
 		d.pp.WriteAgg(p, a)
@@ -138,8 +148,10 @@ func (d *pipeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 
 func (d *pipeDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 	if d.write {
-		d.m.syscall(p)
 		return 0, ErrNotSupported
+	}
+	if d.nonblock && d.readWouldBlock() {
+		return 0, ErrAgain
 	}
 	if d.pp.Mode() == ipcsim.ModeCopy && d.pending == nil {
 		n := d.pp.Read(p, dst)
@@ -159,12 +171,13 @@ func (d *pipeDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 
 func (d *pipeDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
 	if !d.write {
-		d.m.syscall(p)
 		return 0, ErrNotSupported
 	}
 	if d.pp.WriteClosed() || d.pp.ReadClosed() {
-		d.m.syscall(p)
 		return 0, ErrClosed
+	}
+	if d.nonblock && !d.pp.CanWrite(len(src)) {
+		return 0, ErrAgain
 	}
 	if d.pp.Mode() == ipcsim.ModeCopy {
 		d.pp.Write(p, src)
@@ -178,6 +191,32 @@ func (d *pipeDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) 
 }
 
 func (d *pipeDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
+
+func (d *pipeDesc) setNonblock(on bool) { d.nonblock = on }
+
+// PollReady implements Pollable for whichever end this descriptor is.
+func (d *pipeDesc) PollReady() Interest {
+	if d.write {
+		if d.pp.ReadClosed() || d.pp.WriteClosed() || d.pp.CanWrite(1) {
+			return Writable
+		}
+		return 0
+	}
+	if !d.readWouldBlock() {
+		return Readable
+	}
+	return 0
+}
+
+// SetPollNotify implements Pollable: the read end listens for arriving
+// data / writer close, the write end for freed space / reader close.
+func (d *pipeDesc) SetPollNotify(fn func()) {
+	if d.write {
+		d.pp.SetWriteNotify(fn)
+	} else {
+		d.pp.SetReadNotify(fn)
+	}
+}
 
 func (d *pipeDesc) Close(p *sim.Proc) error {
 	if d.write {

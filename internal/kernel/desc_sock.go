@@ -20,6 +20,10 @@ type sockDesc struct {
 	// pending holds the tail of a delivery that exceeded the reader's
 	// requested length.
 	pending *core.Agg
+
+	// nonblock makes reads and writes return ErrAgain instead of parking
+	// (O_NONBLOCK); readiness loops set it via Machine.SetNonblock.
+	nonblock bool
 }
 
 func (d *sockDesc) Kind() DescKind { return KindSocket }
@@ -113,8 +117,21 @@ func (d *sockDesc) SpliceIn(p *sim.Proc, a *core.Agg) error {
 	return nil
 }
 
+// readWouldBlock reports whether a read right now would park the proc.
+func (d *sockDesc) readWouldBlock() bool {
+	return d.pending == nil && !d.ep.RecvReady()
+}
+
+// writeWouldBlock reports whether sending n bytes right now would park the
+// proc on the transmit window. Closed endpoints never block — they error.
+func (d *sockDesc) writeWouldBlock(n int) bool {
+	return !d.ep.Closing() && !d.ep.CanSend(n)
+}
+
 func (d *sockDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
-	d.m.syscall(p)
+	if d.nonblock && d.readWouldBlock() {
+		return nil, ErrAgain
+	}
 	a := d.takeAgg(p, pr)
 	if a == nil {
 		return nil, io.EOF
@@ -123,9 +140,11 @@ func (d *sockDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error)
 }
 
 func (d *sockDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
-	d.m.syscall(p)
 	if d.ep.Closing() {
 		return ErrClosed
+	}
+	if d.nonblock && d.writeWouldBlock(a.Len()) {
+		return ErrAgain
 	}
 	core.CheckReadable(a, pr.Domain)
 	d.m.Host.Use(p, sim.Duration(a.NumSlices())*d.m.Costs.AggOp)
@@ -135,7 +154,9 @@ func (d *sockDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 }
 
 func (d *sockDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
-	d.m.syscall(p)
+	if d.nonblock && d.readWouldBlock() {
+		return 0, ErrAgain
+	}
 	a := d.takeAgg(p, pr)
 	if a == nil {
 		return 0, io.EOF
@@ -144,13 +165,38 @@ func (d *sockDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
 }
 
 func (d *sockDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) {
-	d.m.syscall(p)
 	if d.ep.Closing() {
 		return 0, ErrClosed
+	}
+	if d.nonblock && d.writeWouldBlock(len(src)) {
+		return 0, ErrAgain
 	}
 	d.m.Host.Use(p, d.m.Costs.Copy(len(src)))
 	d.ep.Send(p, netsim.Payload{Data: src}, nil)
 	return len(src), nil
+}
+
+// setNonblock implements the nonblocker capability.
+func (d *sockDesc) setNonblock(on bool) { d.nonblock = on }
+
+// PollReady implements Pollable: readable when a delivery (or EOF) can be
+// taken without parking, writable when the transmit window has room.
+func (d *sockDesc) PollReady() Interest {
+	var r Interest
+	if !d.readWouldBlock() {
+		r |= Readable
+	}
+	if d.ep.Closing() || d.ep.CanSend(1) {
+		r |= Writable
+	}
+	return r
+}
+
+// SetPollNotify implements Pollable: fn fires whenever a delivery lands,
+// the peer closes, or transmit window frees up.
+func (d *sockDesc) SetPollNotify(fn func()) {
+	d.ep.SetRecvNotify(fn)
+	d.ep.SetSendNotify(fn)
 }
 
 func (d *sockDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
@@ -167,8 +213,9 @@ func (d *sockDesc) Close(p *sim.Proc) error {
 // listenDesc is a listening socket: it only accepts. Machine.Accept
 // unwraps it; every data operation is ErrNotSupported.
 type listenDesc struct {
-	m   *Machine
-	lst *netsim.Listener
+	m        *Machine
+	lst      *netsim.Listener
+	nonblock bool
 }
 
 func (d *listenDesc) Kind() DescKind { return KindListener }
@@ -176,22 +223,33 @@ func (d *listenDesc) RefMode() bool  { return false }
 func (d *listenDesc) Seekable() bool { return false }
 
 func (d *listenDesc) ReadAgg(p *sim.Proc, _ *Process, _ int64) (*core.Agg, error) {
-	d.m.syscall(p)
 	return nil, ErrNotSupported
 }
 func (d *listenDesc) WriteAgg(p *sim.Proc, _ *Process, _ *core.Agg) error {
-	d.m.syscall(p)
 	return ErrNotSupported
 }
 func (d *listenDesc) ReadCopy(p *sim.Proc, _ *Process, _ []byte) (int, error) {
-	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
 func (d *listenDesc) WriteCopy(p *sim.Proc, _ *Process, _ []byte) (int, error) {
-	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
 func (d *listenDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
+
+func (d *listenDesc) setNonblock(on bool) { d.nonblock = on }
+
+// PollReady implements Pollable: acceptable when a connection is queued
+// (or the listener has closed, so Accept returns without parking).
+func (d *listenDesc) PollReady() Interest {
+	if d.lst.Pending() > 0 || d.lst.Closed() {
+		return Acceptable
+	}
+	return 0
+}
+
+// SetPollNotify implements Pollable: fn fires when a dial lands in the
+// backlog or the listener closes.
+func (d *listenDesc) SetPollNotify(fn func()) { d.lst.SetNotify(fn) }
 
 func (d *listenDesc) Close(*sim.Proc) error {
 	d.lst.Close()

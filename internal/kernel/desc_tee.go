@@ -24,8 +24,9 @@ type teeDesc struct {
 }
 
 // NewTeeDesc returns a tee over primary and secondary for installation
-// with Process.Install. Each write costs the two underlying writes; reads
-// and seeks are not supported.
+// with Process.Install. One write syscall covers both targets (charged at
+// the Machine boundary); each target still charges its own data costs.
+// Reads and seeks are not supported.
 func NewTeeDesc(m *Machine, primary, secondary Desc) Desc {
 	return &teeDesc{m: m, primary: primary, secondary: secondary}
 }
@@ -35,7 +36,6 @@ func (d *teeDesc) RefMode() bool  { return d.primary.RefMode() }
 func (d *teeDesc) Seekable() bool { return false }
 
 func (d *teeDesc) ReadAgg(p *sim.Proc, pr *Process, n int64) (*core.Agg, error) {
-	d.m.syscall(p)
 	return nil, ErrNotSupported
 }
 
@@ -51,7 +51,6 @@ func (d *teeDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 }
 
 func (d *teeDesc) ReadCopy(p *sim.Proc, pr *Process, dst []byte) (int, error) {
-	d.m.syscall(p)
 	return 0, ErrNotSupported
 }
 
@@ -66,7 +65,4 @@ func (d *teeDesc) Seek(int64, int) (int64, error) { return 0, ErrNotSupported }
 
 // Close releases the tee itself only; the targets remain open (they have
 // their own fds or owners).
-func (d *teeDesc) Close(p *sim.Proc) error {
-	d.m.syscall(p)
-	return nil
-}
+func (d *teeDesc) Close(p *sim.Proc) error { return nil }

@@ -76,6 +76,13 @@ func (m *Machine) readCached(p *sim.Proc, f *fsim.File, off, n int64) *core.Agg 
 // descriptor and use the generic Machine.IOLRead.
 func (m *Machine) IOLReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
+	return m.iolReadFile(p, pr, f, off, n)
+}
+
+// iolReadFile is IOLReadFile minus the syscall charge — the form the
+// descriptor layer and the submission ring execute behind their own
+// boundary crossing.
+func (m *Machine) iolReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int64) *core.Agg {
 	a := m.readCached(p, f, off, n)
 	m.Host.Use(p, sim.Duration(a.NumSlices())*m.Costs.AggOp)
 	core.Transfer(p, a, pr.Domain)
@@ -92,6 +99,11 @@ func (m *Machine) IOLReadFile(p *sim.Proc, pr *Process, f *fsim.File, off, n int
 // whose generic IOLRead takes this path.
 func (m *Machine) IOLReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim.File, off, n int64) *core.Agg {
 	m.syscall(p)
+	return m.iolReadPool(p, pr, pool, f, off, n)
+}
+
+// iolReadPool is IOLReadPool minus the syscall charge.
+func (m *Machine) iolReadPool(p *sim.Proc, pr *Process, pool *core.Pool, f *fsim.File, off, n int64) *core.Agg {
 	a := m.readPool(p, pool, f, off, n)
 	core.Transfer(p, a, pr.Domain)
 	return a
@@ -134,6 +146,11 @@ func (m *Machine) readPool(p *sim.Proc, pool *core.Pool, f *fsim.File, off, n in
 // Machine.IOLWrite.
 func (m *Machine) IOLWriteFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, a *core.Agg) {
 	m.syscall(p)
+	m.iolWriteFile(p, pr, f, off, a)
+}
+
+// iolWriteFile is IOLWriteFile minus the syscall charge.
+func (m *Machine) iolWriteFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, a *core.Agg) {
 	core.CheckReadable(a, pr.Domain) // writer must itself have access
 	n := int64(a.Len())
 	m.Host.Use(p, sim.Duration(a.NumSlices())*m.Costs.AggOp)
@@ -206,6 +223,11 @@ func (m *Machine) prewarmMmapFile(pr *Process, f *fsim.File) {
 // Machine.ReadPOSIX.
 func (m *Machine) ReadPOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, dst []byte) int {
 	m.syscall(p)
+	return m.readPOSIXFile(p, pr, f, off, dst)
+}
+
+// readPOSIXFile is ReadPOSIXFile minus the syscall charge.
+func (m *Machine) readPOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, dst []byte) int {
 	n := int64(len(dst))
 	if off+n > f.Size() {
 		n = f.Size() - off
@@ -228,6 +250,11 @@ func (m *Machine) ReadPOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int6
 // Machine.WritePOSIX.
 func (m *Machine) WritePOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, src []byte) {
 	m.syscall(p)
+	m.writePOSIXFile(p, pr, f, off, src)
+}
+
+// writePOSIXFile is WritePOSIXFile minus the syscall charge.
+func (m *Machine) writePOSIXFile(p *sim.Proc, pr *Process, f *fsim.File, off int64, src []byte) {
 	a := core.PackBytes(p, m.FilePool, src) // PackBytes charges the copy
 	m.FileCache.InvalidateOverlap(f.ID, off, int64(len(src)))
 	m.FileCache.Insert(p, cache.Key{File: f.ID, Off: off, Len: int64(len(src))}, a)

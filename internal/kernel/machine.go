@@ -120,13 +120,14 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 // CPU returns the machine's CPU resource.
 func (m *Machine) CPU() *sim.Resource { return m.Host.CPU() }
 
-// syscall charges one system-call entry/exit. A nil p (setup or prewarm
-// context, outside measurement) charges nothing.
+// syscall charges one system-call entry/exit and counts it on the cost
+// model's syscall meter. A nil p (setup or prewarm context, outside
+// measurement) charges nothing.
 func (m *Machine) syscall(p *sim.Proc) {
 	if p == nil {
 		return
 	}
-	m.Host.Use(p, m.Costs.Syscall)
+	m.Host.Use(p, m.Costs.MeterSyscall())
 }
 
 // Process is one user protection domain with its default IO-Lite allocation

@@ -103,6 +103,38 @@ func (m *Machine) SetCork(p *sim.Proc, pr *Process, fd int, on bool) error {
 	return nil
 }
 
+// nonblocker is the capability of descriptors that support O_NONBLOCK
+// semantics (sockets, pipe ends, listeners; see ErrAgain).
+type nonblocker interface {
+	setNonblock(on bool)
+}
+
+// Nonblockable reports whether a descriptor supports non-blocking mode (an
+// uncharged capability probe, like Corkable).
+func Nonblockable(d Desc) bool {
+	_, ok := d.(nonblocker)
+	return ok
+}
+
+// SetNonblock is fcntl(O_NONBLOCK) on a descriptor: while on, operations
+// that would park the process return ErrAgain instead, and readiness is
+// observed through a ReadyDesc. One syscall is charged. Descriptors without
+// a blocking path (files, sealed objects) report ErrNotSupported — their
+// operations never park.
+func (m *Machine) SetNonblock(p *sim.Proc, pr *Process, fd int, on bool) error {
+	m.syscall(p)
+	d, err := pr.Desc(fd)
+	if err != nil {
+		return err
+	}
+	nb, ok := d.(nonblocker)
+	if !ok {
+		return ErrNotSupported
+	}
+	nb.setNonblock(on)
+	return nil
+}
+
 // NewPipe creates a pipe whose reader is process reader. IO-Lite machines
 // create reference-mode pipes for IOL-aware endpoints (§4.4); conventional
 // ones copy.

@@ -55,9 +55,10 @@ type spliceSinkReady interface {
 }
 
 // spliceEnds resolves and capability-checks the two descriptors of a splice.
-// The syscall is charged here, uniformly on success and on every error path.
+// The syscall is charged by the entry points (Splice/SpliceAt), uniformly on
+// success and on every error path; the ring's splice op reuses the uncharged
+// internals below under its batched Submit.
 func (m *Machine) spliceEnds(p *sim.Proc, pr *Process, dstFD, srcFD int) (Desc, SpliceSink, error) {
-	m.syscall(p)
 	src, err := pr.Desc(srcFD)
 	if err != nil {
 		return nil, nil, err
@@ -114,6 +115,12 @@ func (m *Machine) spliceLoop(p *sim.Proc, sink SpliceSink, n int64, take func(re
 // ErrClosed is the sink's EPIPE. A partial count with a nil error means the
 // source ran dry mid-way (short splice), like a short write(2).
 func (m *Machine) Splice(p *sim.Proc, pr *Process, dstFD, srcFD int, n int64) (int64, error) {
+	m.syscall(p)
+	return m.splice(p, pr, dstFD, srcFD, n)
+}
+
+// splice is Splice minus the syscall charge.
+func (m *Machine) splice(p *sim.Proc, pr *Process, dstFD, srcFD int, n int64) (int64, error) {
 	src, sink, err := m.spliceEnds(p, pr, dstFD, srcFD)
 	if err != nil {
 		return 0, err
@@ -132,6 +139,13 @@ func (m *Machine) Splice(p *sim.Proc, pr *Process, dstFD, srcFD int, n int64) (i
 // one descriptor a server caches per file can feed every concurrent
 // connection. Only positional sources (files, sealed objects) support it.
 func (m *Machine) SpliceAt(p *sim.Proc, pr *Process, dstFD, srcFD int, off, n int64) (int64, error) {
+	m.syscall(p)
+	return m.spliceAt(p, pr, dstFD, srcFD, off, n)
+}
+
+// spliceAt is SpliceAt minus the syscall charge — the form the submission
+// ring executes behind its batched Submit.
+func (m *Machine) spliceAt(p *sim.Proc, pr *Process, dstFD, srcFD int, off, n int64) (int64, error) {
 	src, sink, err := m.spliceEnds(p, pr, dstFD, srcFD)
 	if err != nil {
 		return 0, err

@@ -135,6 +135,12 @@ type Endpoint struct {
 	rcvQ      []Delivery
 	rcvWait   sim.WaitQueue
 	rcvClosed bool
+
+	// rcvNotify/sndNotify fire (if set) when the receive side becomes
+	// ready (delivery or FIN) / when transmit-window space frees. Readiness
+	// descriptors hang their poll wakeups here.
+	rcvNotify func()
+	sndNotify func()
 }
 
 // newConn wires two endpoints over link. clientHost dials serverHost.
@@ -393,6 +399,9 @@ func (e *Endpoint) transmitFIN(p *sim.Proc) {
 		peer.host.charge(peer.host.costs.Packet/2, func() {
 			peer.rcvClosed = true
 			peer.rcvWait.Wake(-1)
+			if peer.rcvNotify != nil {
+				peer.rcvNotify()
+			}
 		})
 	})
 }
@@ -420,6 +429,9 @@ func (e *Endpoint) deliver(n int, pieces []segPiece) {
 			e.rcvQ = append(e.rcvQ, d)
 		}
 		e.rcvWait.Wake(-1)
+		if e.rcvNotify != nil {
+			e.rcvNotify()
+		}
 		e.sendAck(n)
 	})
 }
@@ -456,6 +468,9 @@ func (e *Endpoint) acked(n int) {
 		e.reserveSock()
 	}
 	e.sndWait.Wake(-1)
+	if e.sndNotify != nil {
+		e.sndNotify()
+	}
 	for _, done := range rec.dones {
 		done()
 	}
@@ -491,6 +506,21 @@ func (e *Endpoint) Close(p *sim.Proc) {
 	e.host.Use(p, e.host.costs.TCPTeardown)
 	e.wakePump()
 }
+
+// RecvReady reports whether Recv right now would return without parking:
+// a delivery is queued or the peer's FIN has arrived.
+func (e *Endpoint) RecvReady() bool { return len(e.rcvQ) > 0 || e.rcvClosed }
+
+// CanSend reports whether sending n bytes right now would be admitted
+// whole without parking on the transmit window.
+func (e *Endpoint) CanSend(n int) bool { return e.tss-e.sndBytes >= n }
+
+// SetRecvNotify registers fn to fire whenever the receive side becomes
+// ready (a delivery lands or the peer half-closes).
+func (e *Endpoint) SetRecvNotify(fn func()) { e.rcvNotify = fn }
+
+// SetSendNotify registers fn to fire whenever transmit-window space frees.
+func (e *Endpoint) SetSendNotify(fn func()) { e.sndNotify = fn }
 
 // Drain blocks p until every admitted byte has been acknowledged. A drain
 // is a push point: a sub-MSS tail held by an explicit cork is flushed

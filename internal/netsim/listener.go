@@ -8,6 +8,7 @@ type Listener struct {
 	backlog []*Conn
 	wait    sim.WaitQueue
 	closed  bool
+	notify  func()
 
 	accepted int64
 }
@@ -39,7 +40,20 @@ func (l *Listener) Accept(p *sim.Proc) *Conn {
 func (l *Listener) Close() {
 	l.closed = true
 	l.wait.Wake(-1)
+	if l.notify != nil {
+		l.notify()
+	}
 }
+
+// Pending reports how many connections are queued awaiting Accept.
+func (l *Listener) Pending() int { return len(l.backlog) }
+
+// Closed reports whether the listener has shut down.
+func (l *Listener) Closed() bool { return l.closed }
+
+// SetNotify registers fn to fire when a connection lands in the backlog or
+// the listener closes — the acceptable-readiness hook.
+func (l *Listener) SetNotify(fn func()) { l.notify = fn }
 
 // Accepted reports how many connections have been accepted.
 func (l *Listener) Accepted() int64 { return l.accepted }
@@ -57,16 +71,27 @@ func Wire(client, server *Host, link *Link, opts ConnOpts) *Conn {
 // Dial establishes a connection from client host over link to the listener:
 // one round trip of handshake latency, with connection-establishment CPU
 // charged to both ends (§5: TCP setup dominates small nonpersistent
-// transfers).
+// transfers). A closed listener refuses the connection (nil — the caller's
+// ECONNREFUSED); previously the dial enqueued a connection nothing would
+// ever accept.
 func Dial(p *sim.Proc, client *Host, link *Link, lst *Listener, opts ConnOpts) *Conn {
+	if lst.closed {
+		return nil
+	}
 	client.Use(p, client.costs.TCPSetup)
 	// SYN travels to the server...
 	p.Sleep(link.delay)
 	conn := newConn(client, lst.host, link, opts)
 	srv := lst.host
 	srv.charge(srv.costs.TCPSetup, func() {
+		if lst.closed {
+			return // RST: the listener vanished while the SYN was in flight
+		}
 		lst.backlog = append(lst.backlog, conn)
 		lst.wait.Wake(1)
+		if lst.notify != nil {
+			lst.notify()
+		}
 	})
 	// ...and the SYN-ACK returns before the client may send.
 	p.Sleep(link.delay)

@@ -79,9 +79,12 @@ type CostModel struct {
 	// meter accumulates the per-byte work the model has priced out, for
 	// tests and benchmarks that assert "zero copies on this path" or report
 	// copies avoided. Copy and Cksum are only invoked where the resulting
-	// duration is charged, so the meter tracks charged work.
-	meterCopied int64
-	meterCksum  int64
+	// duration is charged, so the meter tracks charged work. meterSyscalls
+	// counts kernel crossings priced via MeterSyscall — the currency the
+	// submission ring economizes.
+	meterCopied   int64
+	meterCksum    int64
+	meterSyscalls int64
 
 	// DiskSeek is the average positioning time per disk request;
 	// DiskPSPerByte the media transfer cost per byte.
@@ -160,6 +163,17 @@ func (c *CostModel) PriceCksum(n int) time.Duration {
 	return time.Duration(int64(n) * c.CksumPSPerByte / 1000)
 }
 
+// MeterSyscall returns the cost of one kernel crossing and counts it.
+// Every charged syscall entry point routes through this, so the counter is
+// the machine-wide syscall tally (pure price queries read Syscall directly).
+func (c *CostModel) MeterSyscall() time.Duration {
+	c.meterSyscalls++
+	return c.Syscall
+}
+
+// MeterSyscallCount reports the syscalls charged since the last ResetMeter.
+func (c *CostModel) MeterSyscallCount() int64 { return c.meterSyscalls }
+
 // MeterCopiedBytes reports the bytes of copy work priced since the last
 // ResetMeter — every site that charges CostModel.Copy, machine-wide.
 func (c *CostModel) MeterCopiedBytes() int64 { return c.meterCopied }
@@ -169,7 +183,7 @@ func (c *CostModel) MeterCopiedBytes() int64 { return c.meterCopied }
 func (c *CostModel) MeterCksumBytes() int64 { return c.meterCksum }
 
 // ResetMeter zeroes the charged-work meter.
-func (c *CostModel) ResetMeter() { c.meterCopied, c.meterCksum = 0, 0 }
+func (c *CostModel) ResetMeter() { c.meterCopied, c.meterCksum, c.meterSyscalls = 0, 0, 0 }
 
 // Touch returns the default cost of application code examining n bytes.
 func (c *CostModel) Touch(n int) time.Duration {

@@ -1,0 +1,42 @@
+package uring
+
+import (
+	"iolite/internal/kernel"
+	"iolite/internal/sim"
+)
+
+// Poller is the epoll face of the subsystem: a readiness descriptor with
+// add/del registration and a one-syscall Wait. A server's event loop
+// watches its listener, its connections, and its Ring's fd through one
+// Poller, so the whole loop pays one syscall per quiescent period instead
+// of one per descriptor.
+type Poller struct {
+	rd *kernel.ReadyDesc
+	fd int
+}
+
+// NewPoller creates a poller over pr's descriptor table and installs it.
+func NewPoller(m *kernel.Machine, pr *kernel.Process) *Poller {
+	rd := kernel.NewReadyDesc(m, pr)
+	return &Poller{rd: rd, fd: pr.Install(rd)}
+}
+
+// FD returns the poller's own descriptor number (pollers nest).
+func (po *Poller) FD() int { return po.fd }
+
+// Add registers fd for the conditions in want (uncharged bookkeeping;
+// re-adding updates the interest mask). kernel.ErrNotSupported if the
+// descriptor cannot report readiness.
+func (po *Poller) Add(fd int, want kernel.Interest) error { return po.rd.Watch(fd, want) }
+
+// Del removes fd from the watch set.
+func (po *Poller) Del(fd int) { po.rd.Unwatch(fd) }
+
+// Watching reports how many descriptors are registered.
+func (po *Poller) Watching() int { return po.rd.Watching() }
+
+// Wait charges one syscall and blocks until at least one watched
+// descriptor is ready, returning the ready set. Level-triggered: a
+// condition left unconsumed reappears in the next Wait, so loops must
+// Del (or drain) what they are not yet ready to service.
+func (po *Poller) Wait(p *sim.Proc) []kernel.ReadyEvent { return po.rd.Wait(p) }
