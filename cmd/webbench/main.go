@@ -8,6 +8,7 @@
 //	webbench -fig proxy      # the reverse-proxy tier comparison
 //	webbench -fig fcgi       # the fcgi worker-pool scaling study
 //	webbench -fig fcginet    # fcgi worker placement: the LAN-tax study
+//	webbench -fig chaos      # fault injection: loss × kills × replay
 //	webbench -fig all -quick # every figure, reduced point set
 package main
 
@@ -35,12 +36,13 @@ var figures = map[string]func(experiments.Options) *experiments.Table{
 	"proxy":   experiments.FigProxy,
 	"fcgi":    experiments.FigFCGI,
 	"fcginet": experiments.FigFCGINet,
+	"chaos":   experiments.FigChaos,
 }
 
-var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi", "fcginet"}
+var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi", "fcginet", "chaos"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', or 'all'")
+	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', 'chaos', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 	names := figureOrder
 	if *fig != "all" {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, fcginet, or all)\n", *fig)
+			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, fcginet, chaos, or all)\n", *fig)
 			os.Exit(2)
 		}
 		names = []string{*fig}

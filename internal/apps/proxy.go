@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -78,9 +79,30 @@ type ProxyConfig struct {
 	// CacheBytes caps the response cache (0 = unlimited). Eviction is LRU.
 	CacheBytes int64
 	// TTL bounds how long a cached response may be served (0 = forever).
-	// A lookup that finds an entry older than TTL evicts it and refetches
+	// A lookup that finds an entry older than TTL retires it and refetches
 	// from the origin — expiry without conditional revalidation.
 	TTL time.Duration
+
+	// Retries is how many extra origin-fetch attempts a failed miss gets
+	// before the proxy gives up (0 = fail on the first error). Attempts are
+	// spaced by RetryBackoff, doubled each round and jittered so a burst of
+	// concurrent misses does not re-dial the origin in lockstep.
+	Retries int
+	// RetryBackoff is the base delay before the first retry (default 1ms
+	// when Retries > 0). The wait runs on the engine's shared timer wheel.
+	RetryBackoff time.Duration
+	// ServeStale degrades instead of failing: when the origin cannot be
+	// reached on a refetch, a TTL-expired entry still present in the cache
+	// is served (and counted in StaleServed) rather than answering 502 —
+	// the stale copy outlives the origin outage.
+	ServeStale bool
+	// Deadline bounds the whole fetch-and-retry sequence for one miss.
+	// When it passes, the proxy stops retrying and sheds the request with
+	// 504 Gateway Timeout (counted in Shed) instead of holding the client
+	// while backoff timers run out. It is checked between attempts — a
+	// single in-flight fetch is bounded by the transport, not preempted.
+	// 0 means retries alone bound the wait.
+	Deadline time.Duration
 }
 
 // proxyEntry is one cached response (header + body, exactly as the origin
@@ -115,12 +137,19 @@ type Proxy struct {
 	cache      map[string]*proxyEntry
 	cacheBytes int64
 
-	requests int64
-	hits     int64
-	misses   int64
-	bytesOut int64
-	aborted  int64
-	expired  int64
+	requests    int64
+	hits        int64
+	misses      int64
+	bytesOut    int64
+	aborted     int64
+	expired     int64
+	retries     int64
+	staleServed int64
+	shed        int64
+
+	// rng drives retry jitter: a deterministic splitmix64 stream, so runs
+	// replay exactly (the simulation has no wall clock to perturb them).
+	rng uint64
 }
 
 // NewProxy creates and starts a reverse proxy on cfg.Listener.
@@ -128,7 +157,10 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 	if cfg.Tss <= 0 {
 		cfg.Tss = 64 << 10
 	}
-	px := &Proxy{cfg: cfg, m: cfg.Machine, cache: make(map[string]*proxyEntry)}
+	if cfg.Retries > 0 && cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	px := &Proxy{cfg: cfg, m: cfg.Machine, cache: make(map[string]*proxyEntry), rng: 0x9e3779b97f4a7c15}
 	px.proc = px.m.NewProcess("proxy", 2<<20)
 	px.lfd = px.m.Listen(px.proc, cfg.Listener)
 	px.m.Eng.Go("proxy.accept", px.acceptLoop)
@@ -139,9 +171,10 @@ func NewProxy(cfg ProxyConfig) *Proxy {
 func (px *Proxy) Process() *kernel.Process { return px.proc }
 
 // Stats reports requests relayed, cache hits/misses, bytes sent to
-// clients, and responses not fully delivered (a client write error or a
-// failed origin fetch answered 502). Every request is exactly one hit or
-// one miss, so hits+misses always equals requests.
+// clients, and responses not fully delivered (a client write error, a
+// failed origin fetch answered 502, or a deadline shed answered 504).
+// Every request is exactly one hit or one miss — a stale-served request
+// counts as a miss that degraded — so hits+misses always equals requests.
 func (px *Proxy) Stats() (requests, hits, misses, bytesOut, aborted int64) {
 	return px.requests, px.hits, px.misses, px.bytesOut, px.aborted
 }
@@ -158,9 +191,22 @@ func (px *Proxy) HitRate() float64 {
 // exceeding the configured TTL (each one turns that request into a miss).
 func (px *Proxy) Expired() int64 { return px.expired }
 
+// Retries reports origin-fetch attempts beyond each miss's first — the
+// recovery work the degradation path performed.
+func (px *Proxy) Retries() int64 { return px.retries }
+
+// StaleServed reports requests answered from a TTL-expired entry because
+// the origin could not be reached (ServeStale mode).
+func (px *Proxy) StaleServed() int64 { return px.staleServed }
+
+// Shed reports requests answered 504 because the fetch deadline passed
+// before the origin recovered.
+func (px *Proxy) Shed() int64 { return px.shed }
+
 // ResetStats zeroes the counters (cache contents stay).
 func (px *Proxy) ResetStats() {
 	px.requests, px.hits, px.misses, px.bytesOut, px.aborted, px.expired = 0, 0, 0, 0, 0, 0
+	px.retries, px.staleServed, px.shed = 0, 0, 0
 }
 
 func (px *Proxy) acceptLoop(p *sim.Proc) {
@@ -218,12 +264,19 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 		// splice fd, whose table slot would otherwise be reused — must
 		// outlive every sender. The last sender reclaims a dead entry.
 		e := px.cache[path]
+		var stale *proxyEntry
 		if e != nil && px.cfg.TTL > 0 && p.Now().Sub(e.stored) > px.cfg.TTL {
-			// The entry outlived its TTL: expire it and refetch. In-flight
-			// senders of the stale copy finish undisturbed (the evict path
-			// pins busy entries).
+			// The entry outlived its TTL. In ServeStale mode it stays in the
+			// cache, pinned, as the fallback copy in case the refetch fails;
+			// otherwise it is evicted outright. In-flight senders of the old
+			// copy finish undisturbed either way (eviction pins busy entries).
 			px.expired++
-			px.evict(p, e)
+			if px.cfg.ServeStale {
+				stale = e
+				stale.inflight++
+			} else {
+				px.evict(p, e)
+			}
 			e = nil
 		}
 		if e != nil {
@@ -231,16 +284,33 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 			e.inflight++
 		} else {
 			px.misses++
-			var err error
-			if e, err = px.fetch(p, path); err != nil {
+			fresh, ferr := px.fetchRetry(p, path)
+			switch {
+			case ferr == nil:
+				e = fresh
+				e.inflight++
+				px.insert(p, e) // retires the stale cache entry, if any
+			case stale != nil:
+				// Degrade, don't fail: the origin is unreachable but the
+				// expired copy is still here. Serve it; the entry stays
+				// cached (and expired), so the next request tries the
+				// origin again.
+				px.staleServed++
+				e, stale = stale, nil // the pin transfers to the send below
+			default:
 				px.requests++
 				px.aborted++
-				px.m.WritePOSIX(p, px.proc, cfd, []byte("HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n"))
+				status := []byte("HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n")
+				if errors.Is(ferr, kernel.ErrTimedOut) {
+					// The fetch deadline passed: shed with 504 instead of
+					// holding the client while backoff timers run out.
+					px.shed++
+					status = []byte("HTTP/1.1 504 Gateway Timeout\r\nContent-Length: 0\r\n\r\n")
+				}
+				px.m.WritePOSIX(p, px.proc, cfd, status)
 				px.m.Close(p, px.proc, cfd)
 				return
 			}
-			e.inflight++
-			px.insert(p, e)
 		}
 		px.requests++
 		e.last = p.Now()
@@ -248,6 +318,14 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 		e.inflight--
 		if e.dead && e.inflight == 0 {
 			px.release(p, e)
+		}
+		if stale != nil {
+			// The refetch superseded the pinned fallback copy; drop the pin
+			// (insert marked it dead if senders were still on it).
+			stale.inflight--
+			if stale.dead && stale.inflight == 0 {
+				px.release(p, stale)
+			}
 		}
 		if !sent {
 			px.aborted++
@@ -259,6 +337,60 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 		if !keepalive {
 			px.m.Close(p, px.proc, cfd)
 			return
+		}
+	}
+}
+
+// maxRetryBackoff caps the exponential growth of the retry delay.
+const maxRetryBackoff = 2 * time.Second
+
+// backoff computes the delay before retry attempt (0-based): the base
+// doubled each round and jittered by up to +50% from the proxy's
+// deterministic stream, so a burst of concurrent misses does not re-dial
+// a struggling origin in lockstep.
+func (px *Proxy) backoff(attempt int) time.Duration {
+	d := px.cfg.RetryBackoff
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d >= maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	// splitmix64 step.
+	px.rng += 0x9e3779b97f4a7c15
+	z := px.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(d/2+1))
+}
+
+// fetchRetry runs fetch under the recovery policy: up to cfg.Retries extra
+// attempts spaced by jittered exponential backoff on the engine's shared
+// timer wheel, the whole sequence bounded by cfg.Deadline. A deadline that
+// would pass during the next backoff sheds immediately with an error
+// matching kernel.ErrTimedOut — the client gets its 504 now, not after the
+// timers run out.
+func (px *Proxy) fetchRetry(p *sim.Proc, path string) (*proxyEntry, error) {
+	start := p.Now()
+	for attempt := 0; ; attempt++ {
+		e, err := px.fetch(p, path)
+		if err == nil {
+			return e, nil
+		}
+		if attempt >= px.cfg.Retries {
+			return nil, err
+		}
+		d := px.backoff(attempt)
+		if px.cfg.Deadline > 0 && p.Now().Sub(start)+d >= px.cfg.Deadline {
+			return nil, fmt.Errorf("proxy: fetch %s after %d attempts: %w", path, attempt+1, kernel.ErrTimedOut)
+		}
+		px.retries++
+		if d > 0 {
+			px.m.Eng.Wheel().Sleep(p, d)
 		}
 	}
 }

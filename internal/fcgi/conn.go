@@ -118,6 +118,14 @@ type Conn struct {
 	// never pay a setsockopt syscall.
 	corkable bool
 
+	// closed latches Close: a Conn handle outlives its descriptors (a
+	// failed worker's mux is torn down while writers still hold the
+	// handle), and the fd numbers it cached may be reused by a fresh
+	// channel on the same process — so every entry point must fail on the
+	// flag rather than re-resolve a stale number into someone else's
+	// stream.
+	closed bool
+
 	// Submission-ring mode (EnableRing): outbound records queue on ringQ
 	// for the flusher process to batch through wring; inbound refills go
 	// through rring with receive coalescing. See ring.go.
@@ -200,6 +208,10 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	} else {
 		rec.Length = uint32(n)
 	}
+	if c.closed {
+		c.writeErrs++
+		return ErrBroken
+	}
 	if c.ringOn {
 		// Ring mode needs no write lock: each queue entry is one whole
 		// framed record, so the flusher serializes at record granularity
@@ -208,6 +220,13 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	}
 	c.wlock.acquire(p)
 	defer c.wlock.release()
+	if c.closed {
+		// Closed while this record waited for the write lock. The fd
+		// numbers may already belong to a replacement channel — writing
+		// through them would corrupt an innocent stream.
+		c.writeErrs++
+		return ErrBroken
+	}
 
 	var hdr [HeaderLen]byte
 	rec.Header.encode(hdr[:])
@@ -249,6 +268,12 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, hdr[:]); err != nil {
 		c.writeErrs++
 		return err
+	}
+	if c.closed {
+		// Closed while the header write was blocked: the payload write
+		// would re-resolve wfd, which may be a reused number by now.
+		c.writeErrs++
+		return ErrBroken
 	}
 	if n > 0 {
 		pay := rec.Bytes
@@ -293,6 +318,9 @@ func (c *Conn) cork(p *sim.Proc, on bool) {
 // are reassembled from aggregate deliveries; on a copy channel they are
 // reassembled from the byte stream.
 func (c *Conn) ReadRecord(p *sim.Proc) (Record, error) {
+	if c.closed {
+		return Record{}, io.EOF
+	}
 	if c.ringOn {
 		// Ring reads coalesce deliveries, which merges what an atomic
 		// pipe would hand over as one-record aggregates — so every
@@ -451,6 +479,10 @@ func (c *Conn) fill(p *sim.Proc, n int) error {
 // EPIPE). A full-duplex socket channel holds one fd for both directions
 // and is closed once. Safe to call from any proc on the owning process.
 func (c *Conn) Close(p *sim.Proc) {
+	if c.closed {
+		return
+	}
+	c.closed = true
 	if c.rAgg != nil {
 		c.rAgg.Release()
 		c.rAgg = nil

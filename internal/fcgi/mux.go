@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"iolite/internal/core"
+	"iolite/internal/kernel"
 	"iolite/internal/sim"
 )
 
@@ -16,6 +17,17 @@ type Request struct {
 	// Stdin / StdinAgg is the optional request body; at most one is set.
 	Stdin    []byte
 	StdinAgg *core.Agg
+	// Idempotent sets FlagIdempotent on the BEGIN record: the request is
+	// safe to execute more than once, so a replay-enabled pool may
+	// re-dispatch it after a worker death or timeout.
+	Idempotent bool
+	// Deadline bounds the whole request — slot wait, dispatch, and
+	// response wait. When it passes, Do returns an error matching
+	// kernel.ErrTimedOut instead of blocking further; a request already
+	// dispatched is abandoned (its id stays dead until the worker's END
+	// eventually arrives, so a late response cannot be misdelivered to a
+	// recycled id). 0 means no deadline.
+	Deadline sim.Duration
 }
 
 // Response is one completed request: the STDOUT payload — Body (by
@@ -53,11 +65,15 @@ func (r *Response) Len() int {
 }
 
 // stream is the mux-side state of one in-flight request: inbound records
-// queued by the reader proc, and the requester parked on wait.
+// queued by the reader proc, and the requester parked on wait. dead marks
+// a tombstone: the requester timed out and abandoned the id, which stays
+// allocated (and the depth slot held — the worker really is still working
+// on it) until the END record arrives and retires it.
 type stream struct {
 	recs []Record
 	wait sim.WaitQueue
 	err  error
+	dead bool
 }
 
 // Mux multiplexes up to depth concurrent requests over one Conn. Each
@@ -76,9 +92,10 @@ type Mux struct {
 	slots    sim.WaitQueue
 
 	err      error
-	onFail   func(error)
+	onFail   []func(error)
 	requests int64
 	failures int64
+	timeouts int64
 }
 
 // NewMux starts a multiplexer of the given depth over c, spawning its
@@ -102,15 +119,27 @@ func (mx *Mux) Depth() int { return mx.depth }
 func (mx *Mux) Err() error { return mx.err }
 
 // OnFail registers fn to run once, when the mux breaks — the supervision
-// hook a pool uses to respawn the worker behind this connection. Set it
-// before the engine runs the mux's reader.
-func (mx *Mux) OnFail(fn func(error)) { mx.onFail = fn }
+// hook a pool uses to respawn the worker behind this connection. A handler
+// registered after the mux has already broken fires immediately (the
+// engine's lock-step execution makes registration atomic with respect to
+// the reader proc, but the reader may have failed the mux on an earlier
+// instant — supervision must not miss that).
+func (mx *Mux) OnFail(fn func(error)) {
+	if mx.err != nil {
+		fn(mx.err)
+		return
+	}
+	mx.onFail = append(mx.onFail, fn)
+}
 
 // Stats reports requests issued and requests failed by a broken
 // connection or worker error.
 func (mx *Mux) Stats() (requests, failures int64) {
 	return mx.requests, mx.failures
 }
+
+// Timeouts reports requests abandoned because their deadline passed.
+func (mx *Mux) Timeouts() int64 { return mx.timeouts }
 
 // Inflight reports how many requests are currently open.
 func (mx *Mux) Inflight() int { return mx.inflight }
@@ -125,14 +154,48 @@ func (mx *Mux) allocID() uint16 {
 	return mx.nextID
 }
 
+// retireID releases a request's stream state and returns its id and depth
+// slot to circulation. Records still queued (a handler writing past its
+// END) drop their references, as fail() does.
+func (mx *Mux) retireID(id uint16, st *stream) {
+	for _, rec := range st.recs {
+		rec.Release()
+	}
+	st.recs = nil
+	delete(mx.streams, id)
+	mx.freeIDs = append(mx.freeIDs, id)
+	mx.inflight--
+	mx.slots.Wake(1)
+}
+
 // Do issues one request and blocks until its END record (or a connection
-// failure). Ownership of req.StdinAgg passes to the mux — except on
-// errors matching ErrNotSent, where no record reached the worker and the
-// caller keeps ownership so it can re-route the request. The caller owns
-// the returned response (Release its Body when done).
+// failure, or the request's deadline). Ownership of req.StdinAgg passes to
+// the mux — except on errors matching ErrNotSent, where no record reached
+// the worker and the caller keeps ownership so it can re-route the
+// request. The caller owns the returned response (Release its Body when
+// done).
+//
+// A deadline that passes before dispatch sheds the request with nothing
+// sent (the caller keeps req.StdinAgg). One that passes mid-flight
+// abandons the request: its id turns into a tombstone that the reader
+// retires when the worker's END eventually arrives, so the id cannot be
+// recycled while a late response could still be misdelivered to it, and
+// the depth slot stays held — the worker really is still busy with it.
 func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	mx.requests++
-	for mx.err == nil && mx.inflight >= mx.depth {
+	var expired bool
+	var cur *stream
+	if req.Deadline > 0 {
+		timer := mx.c.m.Eng.Wheel().Schedule(req.Deadline, func() {
+			expired = true
+			mx.slots.Wake(-1)
+			if cur != nil {
+				cur.wait.Wake(-1)
+			}
+		})
+		defer timer.Cancel()
+	}
+	for mx.err == nil && !expired && mx.inflight >= mx.depth {
 		mx.slots.Wait(p)
 	}
 	if mx.err != nil {
@@ -142,27 +205,25 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 		mx.failures++
 		return nil, notSent(mx.err)
 	}
+	if expired {
+		// Shed, don't hang: nothing was sent, the caller keeps its stdin.
+		mx.failures++
+		mx.timeouts++
+		return nil, fmt.Errorf("fcgi: %w waiting for a mux slot", kernel.ErrTimedOut)
+	}
 	id := mx.allocID()
 	st := &stream{}
 	mx.streams[id] = st
+	cur = st
 	mx.inflight++
-	defer func() {
-		// Records still queued when the request ends (a handler writing
-		// past its END) must drop their references, as fail() does.
-		for _, rec := range st.recs {
-			rec.Release()
-		}
-		st.recs = nil
-		delete(mx.streams, id)
-		mx.freeIDs = append(mx.freeIDs, id)
-		mx.inflight--
-		mx.slots.Wake(1)
-	}()
 
 	flags := uint8(0)
 	noStdin := req.Stdin == nil && req.StdinAgg == nil
 	if noStdin {
 		flags = FlagNoStdin
+	}
+	if req.Idempotent {
+		flags |= FlagIdempotent
 	}
 	// A write failure anywhere below means the request never executed:
 	// the worker dispatches a request only once its PARAMS (and STDIN)
@@ -171,16 +232,19 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	// aggregate with the caller on error, matching ErrNotSent's contract.
 	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecBegin, Flags: flags, ReqID: id}}); err != nil {
 		mx.failures++
+		mx.retireID(id, st)
 		return nil, notSent(err)
 	}
 	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecParams, Flags: FlagEndStream, ReqID: id}, Bytes: req.Params}); err != nil {
 		mx.failures++
+		mx.retireID(id, st)
 		return nil, notSent(err)
 	}
 	if !noStdin {
 		rec := Record{Header: Header{Type: RecStdin, Flags: FlagEndStream, ReqID: id}, Agg: req.StdinAgg, Bytes: req.Stdin}
 		if err := mx.c.WriteRecord(p, rec); err != nil {
 			mx.failures++
+			mx.retireID(id, st)
 			return nil, notSent(err)
 		}
 		req.StdinAgg = nil // ownership passed to WriteRecord
@@ -190,6 +254,17 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	var body *core.Agg
 	for {
 		for len(st.recs) == 0 && st.err == nil {
+			if expired {
+				// Abandon mid-flight: tombstone the id. The worker keeps
+				// executing; the reader retires the id on its END.
+				if body != nil {
+					body.Release()
+				}
+				st.dead = true
+				mx.failures++
+				mx.timeouts++
+				return nil, fmt.Errorf("fcgi: request %d abandoned: %w", id, kernel.ErrTimedOut)
+			}
 			st.wait.Wait(p)
 		}
 		if st.err != nil {
@@ -197,6 +272,7 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 				body.Release()
 			}
 			mx.failures++
+			mx.retireID(id, st)
 			return nil, st.err
 		}
 		rec := st.recs[0]
@@ -216,6 +292,7 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 		case RecEnd:
 			resp.Status = rec.Length
 			resp.Body = body
+			mx.retireID(id, st)
 			return resp, nil
 		default:
 			rec.Release() // stray record type: drop
@@ -248,31 +325,44 @@ func (mx *Mux) readLoop(p *sim.Proc) {
 			rec.Release() // request already gone (or never existed)
 			continue
 		}
+		if st.dead {
+			// Tombstoned id: the requester timed out and left. Drop the
+			// late response's references; its END retires the id at last.
+			end := rec.Type == RecEnd
+			rec.Release()
+			if end {
+				mx.retireID(rec.ReqID, st)
+			}
+			continue
+		}
 		st.recs = append(st.recs, rec)
 		st.wait.Wake(1)
 	}
 }
 
 // fail marks the mux broken and wakes everyone: in-flight requests see
-// the error, slot waiters stop queueing, and the supervision hook (if
-// any) learns the worker behind this connection is gone.
+// the error (wrapped in ErrWorkerDied — they may have partially executed,
+// so only idempotent ones are replayable), slot waiters stop queueing, and
+// the supervision hooks learn the worker behind this connection is gone.
 func (mx *Mux) fail(err error) {
 	if mx.err != nil {
 		return
 	}
 	mx.err = err
+	inflight := fmt.Errorf("%w: %w", ErrWorkerDied, err)
 	for _, st := range mx.streams {
 		for _, rec := range st.recs {
 			rec.Release()
 		}
 		st.recs = nil
-		st.err = err
+		st.err = inflight
 		st.wait.Wake(-1)
 	}
 	mx.slots.Wake(-1)
-	if mx.onFail != nil {
-		mx.onFail(err)
+	for _, fn := range mx.onFail {
+		fn(err)
 	}
+	mx.onFail = nil
 }
 
 // Close tears the connection down; the reader proc exits on the resulting

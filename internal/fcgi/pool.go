@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"iolite/internal/core"
 	"iolite/internal/kernel"
 	"iolite/internal/sim"
 )
@@ -42,9 +43,18 @@ type PoolConfig struct {
 	// Respawn enables worker supervision: when a worker's channel
 	// breaks, the pool re-establishes it over the transport with a fresh
 	// worker process and routes new requests to the replacement.
-	// Requests in flight on the dead worker still fail — supervision
-	// restores capacity, it does not replay work.
+	// Requests in flight on the dead worker still fail unless Replay
+	// applies — supervision restores capacity.
 	Respawn bool
+	// Replay re-dispatches an in-flight request to another live worker
+	// after its worker died (ErrWorkerDied) or its deadline passed
+	// (kernel.ErrTimedOut) — but only requests marked Idempotent: a dead
+	// worker may have partially executed the work, so anything else still
+	// fails. Each attempt re-sends the stdin body from a retained master
+	// reference; successful deliveries keep the exactly-one-boundary-copy
+	// economy, failed attempts' partial transfer work is the price of
+	// recovery.
+	Replay bool
 	// OnRetire, when set with Respawn, runs for each worker the pool
 	// retires (its channel broke and a replacement took its slot). It is
 	// the hook per-worker handler state uses to release the dead
@@ -64,6 +74,14 @@ type PoolConfig struct {
 	// field access away.
 	Handler func(p *sim.Proc, w *Worker, req *ServerRequest)
 }
+
+// maxReplays caps how many times one request may be re-dispatched after
+// timing out in flight before the error is surfaced to the caller. Only
+// timeouts count toward the cap: a request structurally slower than its
+// deadline would otherwise replay forever, while a worker-death replay
+// needs an actual worker death each time — supervision paces those, and
+// surviving sustained kills is exactly what the replay policy is for.
+const maxReplays = 3
 
 // Worker is one persistent worker process: its own protection domain and
 // allocation pool (the per-worker ACL isolation of §3.10 — a worker's
@@ -130,6 +148,7 @@ type WorkerPool struct {
 	failures int64
 	reroutes int64
 	respawns int64
+	replays  int64
 	// retired holds the worker-side channels of workers supervision has
 	// replaced: their write errors — including EPIPEs that in-flight
 	// handlers hit after the respawn — stay in Stats, keeping the count
@@ -285,14 +304,28 @@ func (wp *WorkerPool) pick() *Worker {
 
 // Do issues one request through the least-loaded worker's mux, blocking
 // when that worker is at depth. Ownership and error semantics are
-// Mux.Do's, with one addition: a worker that dies between the routing
+// Mux.Do's, with two additions. A worker that dies between the routing
 // decision and dispatch (the health check races the slot wait inside the
 // mux) surfaces as ErrNotSent, and Do re-routes the request to another
 // live worker instead of failing it — the routing decision is re-checked
 // against the pool's current workers, which is also how requests reach a
-// supervision-respawned replacement.
+// supervision-respawned replacement. With Replay enabled, an Idempotent
+// request that fails in flight (ErrWorkerDied, kernel.ErrTimedOut) is
+// re-dispatched rather than failed: the pool keeps a master reference to
+// the stdin body and sends each attempt a fresh clone, so a consumed
+// attempt costs the master nothing.
 func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 	wp.requests++
+	replayable := wp.cfg.Replay && req.Idempotent
+	replayed := 0
+	// With replay in force, the pool retains the stdin body as a master
+	// reference and hands each attempt a fresh clone: a failed attempt's
+	// consumed clone costs the master nothing.
+	var master *core.Agg
+	if replayable && req.StdinAgg != nil {
+		master = req.StdinAgg
+		req.StdinAgg = nil
+	}
 	for {
 		w := wp.pick()
 		if w.mux.Err() != nil {
@@ -302,21 +335,47 @@ func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 			if req.StdinAgg != nil {
 				req.StdinAgg.Release()
 			}
+			if master != nil {
+				master.Release()
+			}
 			return nil, w.mux.Err()
+		}
+		if master != nil {
+			req.StdinAgg = master.Clone()
 		}
 		w.inflight++
 		resp, err := w.mux.Do(p, req)
 		w.inflight--
 		if err == nil {
+			if master != nil {
+				master.Release()
+			}
 			return resp, nil
 		}
 		if errors.Is(err, ErrNotSent) {
 			// The worker died before any record of this request reached
 			// it (req.StdinAgg is still ours on this path): re-route.
+			if master != nil {
+				req.StdinAgg.Release() // the next attempt re-clones the master
+				req.StdinAgg = nil
+			}
 			wp.reroutes++
 			continue
 		}
+		// In-flight failure: the attempt's stdin was consumed. Worker
+		// deaths replay without a cap; timeouts are capped (see
+		// maxReplays).
+		req.StdinAgg = nil
+		if replayable && (errors.Is(err, ErrWorkerDied) ||
+			(errors.Is(err, kernel.ErrTimedOut) && replayed < maxReplays)) {
+			replayed++
+			wp.replays++
+			continue
+		}
 		wp.failures++
+		if master != nil {
+			master.Release()
+		}
 		return resp, err
 	}
 }
@@ -343,6 +402,10 @@ func (wp *WorkerPool) Reroutes() int64 { return wp.reroutes }
 
 // Respawns reports workers replaced by supervision.
 func (wp *WorkerPool) Respawns() int64 { return wp.respawns }
+
+// Replays reports idempotent requests re-dispatched after an in-flight
+// failure (worker death or deadline expiry).
+func (wp *WorkerPool) Replays() int64 { return wp.replays }
 
 // Records reports total records moved over all current connections (both
 // directions, both ends).

@@ -72,6 +72,11 @@ const (
 	// FlagNoStdin on a BEGIN record announces that no STDIN stream
 	// follows; the request is complete when its PARAMS stream ends.
 	FlagNoStdin uint8 = 1 << 1
+	// FlagIdempotent on a BEGIN record marks the request safe to execute
+	// more than once: a pool with replay enabled may re-dispatch it to
+	// another worker after a worker death or deadline expiry. Requests
+	// without the bit fail instead (see ErrWorkerDied).
+	FlagIdempotent uint8 = 1 << 2
 )
 
 // HeaderLen is the fixed record header size on the wire.
@@ -125,6 +130,12 @@ var (
 	// to another worker. On errors matching ErrNotSent the caller
 	// retains ownership of req.StdinAgg.
 	ErrNotSent = errors.New("fcgi: request not sent")
+	// ErrWorkerDied wraps the failure of a request that was in flight on a
+	// worker whose channel broke: the worker may have partially (or even
+	// fully) executed it, so only idempotent requests may be replayed.
+	// Recovery code branches on errors.Is(err, ErrWorkerDied); the wrapped
+	// cause (usually ErrBroken) stays matchable too.
+	ErrWorkerDied = errors.New("fcgi: worker died with request in flight")
 )
 
 // Record is one framed unit. Exactly one payload representation is

@@ -29,6 +29,9 @@ type ServerRequest struct {
 	// representation. The handler owns StdinAgg.
 	Stdin    []byte
 	StdinAgg *core.Agg
+	// Idempotent mirrors FlagIdempotent from the BEGIN record: the client
+	// declared this request safe to execute more than once.
+	Idempotent bool
 }
 
 // WriteStdout sends one STDOUT record carrying the aggregate by
@@ -168,7 +171,10 @@ func Serve(p *sim.Proc, c *Conn, handler Handler) {
 
 // dispatch runs the handler for a complete request on its own proc.
 func dispatch(c *Conn, id uint16, pd *pendingReq, handler Handler) {
-	req := &ServerRequest{c: c, ID: id, Params: pd.params, Stdin: pd.stdin, StdinAgg: pd.stdinAgg}
+	req := &ServerRequest{
+		c: c, ID: id, Params: pd.params, Stdin: pd.stdin, StdinAgg: pd.stdinAgg,
+		Idempotent: pd.flags&FlagIdempotent != 0,
+	}
 	c.m.Eng.Go(fmt.Sprintf("fcgi.c%d.req%d", c.id, id), func(hp *sim.Proc) {
 		handler(hp, req)
 	})

@@ -1,6 +1,7 @@
 package httpd
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"iolite/internal/core"
 	"iolite/internal/fcgi"
+	"iolite/internal/kernel"
 	"iolite/internal/sim"
 )
 
@@ -61,6 +63,7 @@ func newCGIPool(s *Server, workers, depth int) *cgiPool {
 		Ref:       ref,
 		Transport: tr,
 		Respawn:   true,
+		Replay:    s.cfg.CGIReplay,
 		Name:      "cgi",
 		Handler:   cp.handle,
 		OnRetire: func(w *fcgi.Worker) {
@@ -123,8 +126,20 @@ func cgiDoc(n int64) []byte {
 // worker-side failure (the mux surfaces broken pipes as errors) or a
 // client write error.
 func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
-	resp, err := s.cgi.pool.Do(p, fcgi.Request{Params: []byte(path)})
+	// CGI document requests are pure GETs — idempotent by construction —
+	// so the BEGIN record always carries the flag; whether a lost request
+	// actually replays is the pool's policy (Config.CGIReplay).
+	resp, err := s.cgi.pool.Do(p, fcgi.Request{
+		Params:     []byte(path),
+		Idempotent: true,
+		Deadline:   s.cfg.CGIDeadline,
+	})
 	if err != nil {
+		if errors.Is(err, kernel.ErrTimedOut) {
+			// Shed, don't hang: the deadline passed before a worker
+			// answered. The abort accounting upstream still applies.
+			s.shed++
+		}
 		return false
 	}
 

@@ -89,6 +89,16 @@ type Config struct {
 	// ref-mode payloads degrade to exactly one copy at the machine
 	// boundary). The pool supervises workers in every placement.
 	CGIPlacement string
+	// CGIDeadline bounds each CGI request end to end — slot wait,
+	// dispatch, and response. A request whose deadline passes is shed (the
+	// connection aborts instead of holding a handler proc forever) and
+	// counted in Shed(). 0 means no deadline.
+	CGIDeadline time.Duration
+	// CGIReplay lets the worker pool re-dispatch requests lost to a worker
+	// death or deadline onto a healthy worker. CGI document requests are
+	// idempotent (pure GETs), so replay is safe; off by default to keep
+	// the fail-fast baseline.
+	CGIReplay bool
 }
 
 // openEntry is one slot of the server's open-FD cache: the descriptor the
@@ -127,6 +137,7 @@ type Server struct {
 	bytesBody  int64
 	bytesTotal int64
 	aborted    int64
+	shed       int64
 }
 
 // NewServer creates and starts a server on cfg.Listener.
@@ -185,9 +196,13 @@ func (s *Server) Stats() (requests, bodyBytes, totalBytes, aborted int64) {
 	return s.requests, s.bytesBody, s.bytesTotal, s.aborted
 }
 
+// Shed reports CGI requests abandoned because their deadline passed —
+// a subset of the aborted count (shed responses are never delivered).
+func (s *Server) Shed() int64 { return s.shed }
+
 // ResetStats zeroes the counters (used when an experiment discards warmup).
 func (s *Server) ResetStats() {
-	s.requests, s.bytesBody, s.bytesTotal, s.aborted = 0, 0, 0, 0
+	s.requests, s.bytesBody, s.bytesTotal, s.aborted, s.shed = 0, 0, 0, 0, 0
 }
 
 func (s *Server) acceptLoop(p *sim.Proc) {

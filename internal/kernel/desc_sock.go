@@ -149,6 +149,13 @@ func (d *sockDesc) WriteAgg(p *sim.Proc, pr *Process, a *core.Agg) error {
 	core.CheckReadable(a, pr.Domain)
 	d.m.Host.Use(p, sim.Duration(a.NumSlices())*d.m.Costs.AggOp)
 	core.Transfer(p, a, d.m.KernelDomain)
+	if d.ep.Closing() {
+		// The descriptor closed while the charge above held the proc (a
+		// concurrent teardown — e.g. a killed worker with ring submissions
+		// in flight). Ownership of a stays with the caller, like every
+		// error return.
+		return ErrClosed
+	}
 	d.ep.Send(p, netsim.Payload{Agg: a}, nil)
 	return nil
 }
@@ -172,6 +179,10 @@ func (d *sockDesc) WriteCopy(p *sim.Proc, pr *Process, src []byte) (int, error) 
 		return 0, ErrAgain
 	}
 	d.m.Host.Use(p, d.m.Costs.Copy(len(src)))
+	if d.ep.Closing() {
+		// Closed while the copy charge held the proc: EPIPE, not a panic.
+		return 0, ErrClosed
+	}
 	d.ep.Send(p, netsim.Payload{Data: src}, nil)
 	return len(src), nil
 }
@@ -206,6 +217,10 @@ func (d *sockDesc) Close(p *sim.Proc) error {
 		d.pending.Release()
 		d.pending = nil
 	}
+	// Abandon the receive direction too: deliveries already queued (and any
+	// still in flight) release their buffer references instead of leaking
+	// when no reader will ever drain them.
+	d.ep.ShutdownRecv()
 	d.ep.Close(p)
 	return nil
 }

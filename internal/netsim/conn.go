@@ -99,12 +99,37 @@ type segPiece struct {
 // ackRecord tracks one in-flight segment so acknowledgments release
 // resources in order. A gathered segment can complete several send items,
 // so it holds one agg reference per ref piece and every completed item's
-// done callback, fired in admission order on the segment's ack.
+// done callback, fired in admission order when the cumulative ack covers
+// the segment. The record keeps its gathered pieces so a retransmission
+// re-sends the very same buffers: no copy is re-charged (the copy was paid
+// at admission) and no extra agg reference is taken (the record's single
+// reference per ref piece lives until the ack releases it).
 type ackRecord struct {
-	n     int
-	aggs  []*core.Agg // reference-mode piece payloads, released on ack
-	dones []func()
+	seq    int64 // first payload byte's sequence number
+	n      int
+	pieces []segPiece
+	aggs   []*core.Agg // reference-mode piece payloads, released on ack
+	dones  []func()
+	sent   sim.Time // first transmission, for RTT sampling
+	retx   bool     // retransmitted at least once (Karn: no RTT sample)
 }
+
+// end returns the sequence number just past this segment.
+func (r *ackRecord) end() int64 { return r.seq + int64(r.n) }
+
+// Retransmission timing. RTO adapts to measured RTT (Jacobson) between
+// these clamps; every timer expiry doubles it (exponential backoff) until
+// an ack makes progress again. Timers exist only on endpoints a FaultPlan
+// can touch — a reliable wire runs timer-free.
+// minRTO is a floor against spurious timeouts, not a WAN kernel's 200 ms:
+// the simulated links are microsecond-RTT datacenter wires and acks are
+// never delayed, so the floor only needs to ride out ack latency inflated
+// by CPU queueing. A spurious fire is also cheap here — the recovery
+// point gates it to one window resend.
+const (
+	minRTO = 200 * sim.Microsecond
+	maxRTO = 1000 * sim.Millisecond
+)
 
 // Endpoint is one direction's sender plus the opposite direction's
 // receiver, owned by one host.
@@ -123,7 +148,7 @@ type Endpoint struct {
 	queued    int // admitted-but-unsegmented bytes (the tail of sndBytes)
 	corked    bool
 	flush     bool // Drain's push: emit the held tail even while corked
-	ackFIFO   []ackRecord
+	ackFIFO   []*ackRecord
 	sndWait   sim.WaitQueue
 	pump      *sim.Proc
 	pumpIdle  bool
@@ -131,10 +156,35 @@ type Endpoint struct {
 	finSent   bool
 	sockPages int // TagSockBuf pages currently reserved (copy mode)
 
-	// Receiver state.
+	// Go-back-N recovery state (active only on faulty wires): sndUna is the
+	// lowest unacknowledged sequence number, sndNxt the next to assign.
+	// rtoTimer is the pending retransmission timer on the engine's wheel;
+	// rto its current (backed-off) value; srtt/rttvar the Jacobson
+	// estimator. dupAcks counts consecutive duplicate cumulative acks for
+	// fast retransmit.
+	sndUna, sndNxt int64
+	rto            sim.Duration
+	srtt, rttvar   sim.Duration
+	rtoTimer       *sim.Timer
+	dupAcks        int
+	// recoverUntil is the recovery point: every retransmission records
+	// sndNxt here, and duplicate acks cannot trigger another fast
+	// retransmit until the cumulative ack passes it. One loss event costs
+	// one window resend — without the gate, each segment arriving behind
+	// the hole re-acks, re-arms the 3-dup-ack trigger, and the window is
+	// resent once per few arrivals (a retransmission storm).
+	recoverUntil int64
+
+	// Receiver state. rcvNxt is the next expected sequence number:
+	// out-of-order segments are discarded and re-acked (go-back-N). rcvShut
+	// marks a local receive shutdown — queued and future deliveries are
+	// discarded (but still acknowledged, so the peer's sender can drain)
+	// without taking buffer references.
 	rcvQ      []Delivery
 	rcvWait   sim.WaitQueue
 	rcvClosed bool
+	rcvNxt    int64
+	rcvShut   bool
 
 	// rcvNotify/sndNotify fire (if set) when the receive side becomes
 	// ready (delivery or FIN) / when transmit-window space frees. Readiness
@@ -326,7 +376,7 @@ func (e *Endpoint) holdTail() bool {
 // callbacks to its ack record.
 func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 	var pieces []segPiece
-	rec := ackRecord{}
+	rec := &ackRecord{seq: e.sndNxt}
 	cpu := costs.MbufAlloc + costs.Packet
 	for rec.n < MSS && len(e.sndQ) > 0 {
 		item := e.sndQ[0]
@@ -371,22 +421,112 @@ func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 			}
 		}
 	}
+	rec.pieces = pieces
+	rec.sent = e.host.eng.Now()
+	e.sndNxt += int64(rec.n)
 	e.ackFIFO = append(e.ackFIFO, rec)
-	e.transmitData(p, rec.n, pieces)
+	e.transmitData(p, rec)
+	e.armRTO()
 
 	e.host.pktsOut++
 	e.host.bytesOut += int64(rec.n)
 }
 
 // transmitData serializes one data segment on the wire and schedules its
-// delivery at the peer.
-func (e *Endpoint) transmitData(p *sim.Proc, n int, pieces []segPiece) {
+// delivery at the peer — unless the fault plan drops it (the wire time is
+// still spent: the segment was transmitted; it just never arrives) or
+// corrupts it (it arrives flagged so the receiver's checksum verification
+// rejects it).
+func (e *Endpoint) transmitData(p *sim.Proc, rec *ackRecord) {
 	link := e.link
-	link.wire[e.dir].Use(p, link.txTime(n+HeaderLen))
-	peer := e.peer
-	e.host.eng.After(link.delay, func() {
-		peer.deliver(n, pieces)
-	})
+	link.wire[e.dir].Use(p, link.txTime(rec.n+HeaderLen))
+	e.scheduleDelivery(rec)
+}
+
+// scheduleDelivery judges the segment's fate at the transmit instant and
+// schedules its arrival after the propagation delay.
+func (e *Endpoint) scheduleDelivery(rec *ackRecord) {
+	switch e.judgeSegment(e.host.eng.Now()) {
+	case segDrop:
+		return
+	case segCorrupt:
+		peer := e.peer
+		e.host.eng.After(e.link.delay, func() {
+			peer.deliver(rec.seq, rec.n, rec.pieces, true)
+		})
+	default:
+		peer := e.peer
+		e.host.eng.After(e.link.delay, func() {
+			peer.deliver(rec.seq, rec.n, rec.pieces, false)
+		})
+	}
+}
+
+// armRTO (re)starts the retransmission timer when in-flight segments exist
+// on a faulty wire. Reliable wires never arm it: delivery is guaranteed by
+// construction, so the fault-free fast path stays timer-free.
+func (e *Endpoint) armRTO() {
+	if !e.faulty() || len(e.ackFIFO) == 0 {
+		return
+	}
+	if e.rtoTimer != nil && e.rtoTimer.Pending() {
+		return
+	}
+	if e.rto == 0 {
+		e.rto = minRTO
+	}
+	e.rtoTimer = e.host.eng.Wheel().Schedule(e.rto, e.onRTO)
+}
+
+// onRTO fires when the oldest in-flight segment's ack is overdue: go-back-N
+// retransmits the whole window, doubles the timeout, and re-arms.
+func (e *Endpoint) onRTO() {
+	if len(e.ackFIFO) == 0 {
+		return
+	}
+	e.rto *= 2
+	if e.rto > maxRTO {
+		e.rto = maxRTO
+	}
+	e.recoverUntil = e.sndNxt
+	e.retransmit()
+	e.rtoTimer = e.host.eng.Wheel().Schedule(e.rto, e.onRTO)
+}
+
+// retransmit re-sends every in-flight segment (go-back-N) from engine
+// context. The stored pieces go back on the wire as-is: the payload copy
+// (copy mode) was charged at admission and is NOT re-charged; ref pieces
+// re-checksum through the warm checksum cache (one lookup per piece) or pay
+// a full pass when no cache exists, exactly like the first transmission's
+// cold/warm split. No new agg references are taken — the ack record's are
+// re-used.
+func (e *Endpoint) retransmit() {
+	costs := e.host.costs
+	link := e.link
+	for _, rec := range e.ackFIFO {
+		rec.retx = true
+		cpu := costs.MbufAlloc + costs.Packet
+		for _, pc := range rec.pieces {
+			switch {
+			case pc.agg == nil:
+				cpu += costs.Cksum(len(pc.data))
+			case e.host.ck != nil:
+				cpu += costs.CksumLookup // cached since the first transmission
+			default:
+				cpu += costs.Cksum(pc.agg.Len())
+			}
+		}
+		rec := rec
+		e.host.charge(cpu, func() {
+			link.wire[e.dir].UseAsync(link.txTime(rec.n+HeaderLen), func() {
+				e.scheduleDelivery(rec)
+			})
+			e.host.pktsOut++
+			e.host.bytesOut += int64(rec.n)
+			e.host.retransSegs++
+			e.host.retransBytes += int64(rec.n)
+		})
+	}
 }
 
 // transmitFIN sends the half-close marker.
@@ -408,62 +548,129 @@ func (e *Endpoint) transmitFIN(p *sim.Proc) {
 
 // deliver runs when a data segment arrives at the receiving host: interrupt
 // and early-demultiplexing work, checksum verification, reader wake-up, and
-// the acknowledgment back to the sender. A gathered segment yields one
-// delivery per piece — the Agg/Data distinction each piece's sender chose
-// survives coalescing — but charges the per-packet receive work only once.
-func (e *Endpoint) deliver(n int, pieces []segPiece) {
+// the cumulative acknowledgment back to the sender. A gathered segment
+// yields one delivery per piece — the Agg/Data distinction each piece's
+// sender chose survives coalescing — but charges the per-packet receive
+// work only once.
+//
+// Go-back-N discipline: only the next expected segment (seq == rcvNxt) is
+// accepted. A corrupted segment is discarded unacknowledged AFTER the
+// checksum pass that caught it was paid. An out-of-order segment (a
+// predecessor was lost) or a duplicate (spurious retransmission) is
+// discarded and the current cumulative ack repeated, which the sender
+// counts toward fast retransmit.
+func (e *Endpoint) deliver(seq int64, n int, pieces []segPiece, corrupt bool) {
 	costs := e.host.costs
 	cpu := costs.Interrupt + costs.Packet + costs.Demux + costs.Cksum(n)
 	e.host.charge(cpu, func() {
 		e.host.pktsIn++
 		e.host.bytesIn += int64(n)
-		for _, pc := range pieces {
-			d := Delivery{}
-			if pc.agg != nil {
-				d.Agg = pc.agg.Clone() // receiver's reference; sender's released on ack
-			} else {
-				// Copy mode: wire bytes land in receive socket buffers; a
-				// later Recv copies them out to the application.
-				d.Data = append([]byte(nil), pc.data...)
+		if corrupt {
+			e.host.corruptIn++
+			return
+		}
+		if seq != e.rcvNxt {
+			e.sendAck(e.rcvNxt) // duplicate ack; the segment is discarded
+			return
+		}
+		e.rcvNxt += int64(n)
+		if !e.rcvShut {
+			for _, pc := range pieces {
+				d := Delivery{}
+				if pc.agg != nil {
+					d.Agg = pc.agg.Clone() // receiver's reference; sender's released on ack
+				} else {
+					// Copy mode: wire bytes land in receive socket buffers; a
+					// later Recv copies them out to the application.
+					d.Data = append([]byte(nil), pc.data...)
+				}
+				e.rcvQ = append(e.rcvQ, d)
 			}
-			e.rcvQ = append(e.rcvQ, d)
+			e.rcvWait.Wake(-1)
+			if e.rcvNotify != nil {
+				e.rcvNotify()
+			}
 		}
-		e.rcvWait.Wake(-1)
-		if e.rcvNotify != nil {
-			e.rcvNotify()
-		}
-		e.sendAck(n)
+		e.sendAck(e.rcvNxt)
 	})
 }
 
-// sendAck returns an acknowledgment for n bytes to the peer (the data
-// sender).
-func (e *Endpoint) sendAck(n int) {
+// sendAck returns a cumulative acknowledgment (every byte below ackNo has
+// arrived) to the peer — the data sender.
+func (e *Endpoint) sendAck(ackNo int64) {
 	link := e.link
 	done := link.wire[e.dir].UseAsync(link.txTime(AckLen), nil)
 	sender := e.peer
 	e.host.eng.At(done.Add(link.delay), func() {
 		sender.host.charge(sender.host.costs.Packet/2, func() {
-			sender.acked(n)
+			sender.acked(ackNo)
 		})
 	})
 }
 
-// acked releases send-buffer space and segment resources for n
-// acknowledged bytes.
-func (e *Endpoint) acked(n int) {
-	if len(e.ackFIFO) == 0 {
-		panic("netsim: ack with empty FIFO")
+// acked processes a cumulative acknowledgment: every segment wholly below
+// ackNo releases its send-buffer space, buffer references, and done
+// callbacks, in admission order. A duplicate ack (no progress) counts
+// toward fast retransmit; the third in a row re-sends the window without
+// waiting out the RTO.
+func (e *Endpoint) acked(ackNo int64) {
+	if ackNo <= e.sndUna {
+		// No progress. Three duplicate acks in a row signal a lost head
+		// segment while later ones still arrive.
+		if ackNo == e.sndUna && len(e.ackFIFO) > 0 {
+			e.dupAcks++
+			// Early retransmit (à la RFC 5827): a hole near the window's
+			// tail can't gather three duplicate acks — there aren't three
+			// segments behind it — so the threshold shrinks with the
+			// outstanding count rather than waiting out the RTO.
+			thresh := 3
+			if n := len(e.ackFIFO); n < 4 {
+				thresh = n - 1
+				if thresh < 1 {
+					thresh = 1
+				}
+			}
+			if e.dupAcks >= thresh && e.sndUna >= e.recoverUntil {
+				e.dupAcks = 0
+				e.recoverUntil = e.sndNxt
+				e.retransmit()
+				e.restartRTO()
+			}
+		}
+		return
 	}
-	rec := e.ackFIFO[0]
-	if rec.n != n {
-		panic(fmt.Sprintf("netsim: ack of %d bytes, head segment %d", n, rec.n))
+	e.dupAcks = 0
+	var freed int
+	for len(e.ackFIFO) > 0 && e.ackFIFO[0].end() <= ackNo {
+		rec := e.ackFIFO[0]
+		e.ackFIFO = e.ackFIFO[1:]
+		if !rec.retx && e.faulty() {
+			e.sampleRTT(e.host.eng.Now().Sub(rec.sent))
+		}
+		for _, a := range rec.aggs {
+			a.Release()
+		}
+		freed += rec.n
+		for _, done := range rec.dones {
+			done()
+		}
 	}
-	e.ackFIFO = e.ackFIFO[1:]
-	for _, a := range rec.aggs {
-		a.Release()
+	if len(e.ackFIFO) > 0 && e.ackFIFO[0].seq < ackNo {
+		panic(fmt.Sprintf("netsim: ack %d splits segment at %d", ackNo, e.ackFIFO[0].seq))
 	}
-	e.sndBytes -= n
+	e.sndUna = ackNo
+	e.sndBytes -= freed
+	// Forward progress ends a loss episode: collapse any exponential
+	// backoff back to the estimator's RTO. Karn's rule keeps retransmitted
+	// windows out of the estimator, so without this reset a conn that
+	// recovers through a few timeouts would keep its ratcheted-up timer
+	// and pay seconds for the next stray drop.
+	if e.rto > 0 && e.srtt > 0 {
+		e.rto = e.srtt + 4*e.rttvar
+		if e.rto < minRTO {
+			e.rto = minRTO
+		}
+	}
 	if !e.refMode {
 		e.reserveSock()
 	}
@@ -471,9 +678,8 @@ func (e *Endpoint) acked(n int) {
 	if e.sndNotify != nil {
 		e.sndNotify()
 	}
-	for _, done := range rec.dones {
-		done()
-	}
+	// The timer now guards the next-oldest in-flight segment, or nothing.
+	e.restartRTO()
 	// A draining ack FIFO can end an auto-cork hold (the queue's sub-MSS
 	// tail flushes once nothing is in flight), and the last ack of a
 	// closing endpoint releases the FIN.
@@ -482,11 +688,49 @@ func (e *Endpoint) acked(n int) {
 	}
 }
 
+// restartRTO arms a fresh retransmission timer for the current window (or
+// cancels it when nothing is in flight).
+func (e *Endpoint) restartRTO() {
+	if e.rtoTimer != nil {
+		e.rtoTimer.Cancel()
+		e.rtoTimer = nil
+	}
+	e.armRTO()
+}
+
+// sampleRTT feeds one round-trip measurement into the Jacobson estimator
+// and derives the next RTO. Only never-retransmitted segments are sampled
+// (Karn's algorithm): a retransmitted segment's ack is ambiguous.
+func (e *Endpoint) sampleRTT(rtt sim.Duration) {
+	if rtt < 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		diff := rtt - e.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar += (diff - e.rttvar) / 4
+		e.srtt += (rtt - e.srtt) / 8
+	}
+	e.rto = e.srtt + 4*e.rttvar
+	if e.rto < minRTO {
+		e.rto = minRTO
+	}
+	if e.rto > maxRTO {
+		e.rto = maxRTO
+	}
+}
+
 // Recv returns the next delivered chunk, blocking until data or the peer's
-// half-close arrives. ok is false at end of stream.
+// half-close arrives. ok is false at end of stream and after a local
+// receive shutdown.
 func (e *Endpoint) Recv(p *sim.Proc) (Delivery, bool) {
 	for len(e.rcvQ) == 0 {
-		if e.rcvClosed {
+		if e.rcvClosed || e.rcvShut {
 			return Delivery{}, false
 		}
 		e.rcvWait.Wait(p)
@@ -494,6 +738,27 @@ func (e *Endpoint) Recv(p *sim.Proc) (Delivery, bool) {
 	d := e.rcvQ[0]
 	e.rcvQ = e.rcvQ[1:]
 	return d, true
+}
+
+// ShutdownRecv abandons the endpoint's receive direction: queued deliveries
+// release their buffer references, blocked readers return !ok, and future
+// arrivals are discarded — but still acknowledged, so the peer's sender
+// drains instead of retransmitting into the void. Descriptor close calls
+// this so an abandoned connection cannot leak the aggregates queued (or
+// still in flight) toward it.
+func (e *Endpoint) ShutdownRecv() {
+	if e.rcvShut {
+		return
+	}
+	e.rcvShut = true
+	for _, d := range e.rcvQ {
+		d.Release()
+	}
+	e.rcvQ = nil
+	e.rcvWait.Wake(-1)
+	if e.rcvNotify != nil {
+		e.rcvNotify()
+	}
 }
 
 // Close half-closes the endpoint's send direction: queued data drains, then

@@ -1,0 +1,138 @@
+package netsim
+
+import "iolite/internal/sim"
+
+// Fault injection. A FaultPlan attached to a Link (both directions) or a
+// Host (segments that host transmits) makes the wire lossy: data segments
+// drop with a probability, arrive with corrupted payloads the receiver's
+// checksum verification catches, or vanish wholesale during transient
+// partition windows. Control segments — SYN, ACK, FIN — are exempt: the
+// plan models a lossy data path, and go-back-N recovery (conn.go) is
+// exercised by data loss alone; cumulative acks make individual ack loss
+// invisible anyway.
+//
+// Everything is deterministic: each plan carries its own seeded PRNG, so a
+// chaos run replays exactly.
+
+// PartitionWindow is one transient outage: every data segment offered to
+// the wire in [From, To) is dropped.
+type PartitionWindow struct {
+	From, To sim.Time
+}
+
+// FaultPlan describes the faults to inject. The zero value injects
+// nothing; probabilities are per data segment in [0, 1].
+type FaultPlan struct {
+	// DropProb drops the segment silently: it never arrives, no ack
+	// returns, and the sender's RTO recovers it.
+	DropProb float64
+	// CorruptProb flips payload bits in flight: the segment arrives and
+	// pays its receive-side work, but checksum verification rejects it —
+	// it is discarded unacknowledged, exactly like a drop, except the
+	// receiver has already paid the interrupt and checksum work.
+	CorruptProb float64
+	// Partitions are transient outage windows during which every data
+	// segment is dropped.
+	Partitions []PartitionWindow
+	// Seed makes the plan's coin flips reproducible (0 picks a fixed
+	// default).
+	Seed uint64
+
+	rng uint64
+
+	// Counters: segments the plan dropped (incl. partition drops) and
+	// corrupted.
+	dropped   int64
+	corrupted int64
+}
+
+// splitmix64 advances the plan's PRNG one step.
+func (fp *FaultPlan) next() uint64 {
+	if fp.rng == 0 {
+		fp.rng = fp.Seed
+		if fp.rng == 0 {
+			fp.rng = 0x9e3779b97f4a7c15
+		}
+	}
+	fp.rng += 0x9e3779b97f4a7c15
+	z := fp.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// flip returns true with probability prob.
+func (fp *FaultPlan) flip(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	return float64(fp.next()>>11)/(1<<53) < prob
+}
+
+// segFate is what the plan decided for one segment.
+type segFate int
+
+const (
+	segOK segFate = iota
+	segDrop
+	segCorrupt
+)
+
+// judge decides one data segment's fate at transmit instant now.
+func (fp *FaultPlan) judge(now sim.Time) segFate {
+	if fp == nil {
+		return segOK
+	}
+	for _, w := range fp.Partitions {
+		if now >= w.From && now < w.To {
+			fp.dropped++
+			return segDrop
+		}
+	}
+	if fp.flip(fp.DropProb) {
+		fp.dropped++
+		return segDrop
+	}
+	if fp.flip(fp.CorruptProb) {
+		fp.corrupted++
+		return segCorrupt
+	}
+	return segOK
+}
+
+// Stats reports segments dropped (including partition drops) and
+// corrupted by this plan.
+func (fp *FaultPlan) Stats() (dropped, corrupted int64) {
+	return fp.dropped, fp.corrupted
+}
+
+// SetFaultPlan attaches a fault plan to the link; both directions consult
+// it. nil restores the reliable wire.
+func (l *Link) SetFaultPlan(fp *FaultPlan) { l.faults = fp }
+
+// FaultPlan returns the link's plan (nil when the wire is reliable).
+func (l *Link) FaultPlan() *FaultPlan { return l.faults }
+
+// SetFaultPlan attaches a fault plan to every data segment this host
+// transmits, on any link. nil removes it.
+func (h *Host) SetFaultPlan(fp *FaultPlan) { h.faults = fp }
+
+// FaultPlan returns the host's plan (nil when none).
+func (h *Host) FaultPlan() *FaultPlan { return h.faults }
+
+// judgeSegment consults the link plan, then the sending host's: the first
+// plan that injects a fault wins (a segment is dropped once).
+func (e *Endpoint) judgeSegment(now sim.Time) segFate {
+	if f := e.link.faults.judge(now); f != segOK {
+		return f
+	}
+	return e.host.faults.judge(now)
+}
+
+// faulty reports whether any plan could touch this endpoint's segments —
+// the gate for arming retransmission machinery. On a reliable wire
+// (delivery guaranteed by construction) the sender runs timer-free,
+// keeping the fault-free fast path identical to the pre-fault simulator.
+func (e *Endpoint) faulty() bool {
+	return e.link.faults != nil || e.host.faults != nil
+}

@@ -44,6 +44,16 @@ type Host struct {
 
 	pktsOut, pktsIn   int64
 	bytesOut, bytesIn int64
+
+	// faults, when non-nil, injects faults into every data segment this
+	// host transmits (see fault.go).
+	faults *FaultPlan
+
+	// Recovery counters: data segments this host retransmitted (and their
+	// payload bytes), and received segments its checksum verification
+	// rejected.
+	retransSegs, retransBytes int64
+	corruptIn                 int64
 }
 
 // NewHost creates a host. charged selects whether the host has a measured
@@ -95,11 +105,22 @@ func (h *Host) Stats() (pktsOut, pktsIn, bytesOut, bytesIn int64) {
 	return h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn
 }
 
-// ResetNetStats zeroes the packet and byte counters, so a measurement
-// window can exclude warmup traffic.
+// ResetNetStats zeroes the packet, byte, and recovery counters, so a
+// measurement window can exclude warmup traffic.
 func (h *Host) ResetNetStats() {
 	h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn = 0, 0, 0, 0
+	h.retransSegs, h.retransBytes, h.corruptIn = 0, 0, 0
 }
+
+// RetransStats reports data segments this host retransmitted and the
+// payload bytes they re-carried — the recovery-overhead meter. Retransmitted
+// segments also count in pktsOut/bytesOut: they really occupy the wire.
+func (h *Host) RetransStats() (segs, bytes int64) {
+	return h.retransSegs, h.retransBytes
+}
+
+// CorruptIn reports received segments discarded by checksum verification.
+func (h *Host) CorruptIn() int64 { return h.corruptIn }
 
 // MeanSegFill reports the mean payload fill of this host's transmitted
 // data segments as a fraction of the MSS (1.0 = every segment full) — the
@@ -121,6 +142,10 @@ type Link struct {
 	delay sim.Duration
 	wire  [2]*sim.Resource
 	ends  [2]*Host
+
+	// faults, when non-nil, injects faults into data segments in both
+	// directions (see fault.go).
+	faults *FaultPlan
 }
 
 // NewLink connects a and b with the given bit rate and one-way delay.

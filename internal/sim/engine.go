@@ -70,6 +70,10 @@ type Engine struct {
 
 	// procs tracks live simulated processes for leak diagnostics.
 	procs map[*Proc]struct{}
+
+	// wheel is the engine's shared timer wheel, created on first use (see
+	// Engine.Wheel in wheel.go).
+	wheel *Wheel
 }
 
 // New returns an empty engine with the clock at zero.

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWheelFiresInOrder pins basic ordering: timers fire in expiry order,
+// never early, and within one tick of their requested delay.
+func TestWheelFiresInOrder(t *testing.T) {
+	eng := New()
+	w := eng.Wheel()
+	var order []int
+	delays := []Duration{5 * time.Millisecond, time.Millisecond, 3 * time.Millisecond}
+	for i, d := range delays {
+		i, d := i, d
+		w.Schedule(d, func() {
+			order = append(order, i)
+			if got := eng.Now(); got < Time(d) {
+				t.Errorf("timer %d fired at %v, before its %v delay", i, got, d)
+			}
+			if got := eng.Now(); got > Time(d)+Time(2*w.Tick()) {
+				t.Errorf("timer %d fired at %v, more than 2 ticks after %v", i, got, d)
+			}
+		})
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("fire order = %v, want [1 2 0]", order)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after drain, want 0", w.Pending())
+	}
+}
+
+// TestWheelCancel pins that a canceled timer never fires and that Cancel
+// reports whether it was in time.
+func TestWheelCancel(t *testing.T) {
+	eng := New()
+	w := eng.Wheel()
+	fired := false
+	tm := w.Schedule(2*time.Millisecond, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel of a pending timer returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	var after *Timer
+	after = w.Schedule(time.Millisecond, func() {})
+	eng.Run()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if after.Pending() {
+		t.Fatal("uncanceled timer still pending after Run")
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", w.Pending())
+	}
+}
+
+// TestWheelCoarseLevels pins the hierarchical part: timers far beyond
+// level 0's span cascade down and still fire within a tick of their
+// expiry.
+func TestWheelCoarseLevels(t *testing.T) {
+	eng := New()
+	w := eng.Wheel()
+	// Spread timers across all levels: level 0 spans 64 ticks (3.2 ms at
+	// the default 50 µs tick), level 1 ~205 ms, level 2 ~13 s.
+	delays := []Duration{
+		time.Millisecond,       // level 0
+		100 * time.Millisecond, // level 1
+		time.Second,            // level 2
+		30 * time.Second,       // level 3
+	}
+	fired := make([]Time, len(delays))
+	for i, d := range delays {
+		i, d := i, d
+		w.Schedule(d, func() { fired[i] = eng.Now() })
+	}
+	eng.Run()
+	for i, d := range delays {
+		if fired[i] == 0 {
+			t.Fatalf("timer %d (%v) never fired", i, d)
+		}
+		if fired[i] < Time(d) || fired[i] > Time(d)+Time(2*w.Tick()) {
+			t.Errorf("timer %d fired at %v, want within 2 ticks after %v", i, fired[i], d)
+		}
+	}
+}
+
+// TestWheelSleep pins the backoff primitive: Sleep parks the proc for at
+// least d and resumes it on the wheel's boundary.
+func TestWheelSleep(t *testing.T) {
+	eng := New()
+	w := eng.Wheel()
+	var woke Time
+	eng.Go("sleeper", func(p *Proc) {
+		w.Sleep(p, 3*time.Millisecond)
+		woke = p.Now()
+	})
+	eng.Run()
+	if woke < Time(3*time.Millisecond) {
+		t.Fatalf("woke at %v, before the 3ms sleep", woke)
+	}
+	if eng.LiveProcs() != 0 {
+		t.Fatalf("%d procs leaked", eng.LiveProcs())
+	}
+}
+
+// TestWheelRescheduleDuringFire pins that a callback may arm new timers
+// (the retransmit-backoff shape: each firing schedules the next).
+func TestWheelRescheduleDuringFire(t *testing.T) {
+	eng := New()
+	w := eng.Wheel()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			w.Schedule(time.Millisecond, step)
+		}
+	}
+	w.Schedule(time.Millisecond, step)
+	eng.Run()
+	if count != 5 {
+		t.Fatalf("chained firings = %d, want 5", count)
+	}
+}
