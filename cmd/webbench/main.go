@@ -10,6 +10,7 @@
 //	webbench -fig fcginet    # fcgi worker placement: the LAN-tax study
 //	webbench -fig chaos      # fault injection: loss × kills × replay
 //	webbench -fig all -quick # every figure, reduced point set
+//	webbench -fig proxy -trace t.json  # + Chrome trace-event export
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"iolite/internal/experiments"
+	"iolite/internal/obs"
 )
 
 var figures = map[string]func(experiments.Options) *experiments.Table{
@@ -45,11 +47,15 @@ func main() {
 	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', 'chaos', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's request spans")
 	flag.Parse()
 
 	opt := experiments.Options{Quick: *quick}
 	if *verbose {
 		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *trace != "" {
+		opt.Trace = obs.New()
 	}
 
 	names := figureOrder
@@ -65,5 +71,23 @@ func main() {
 		tbl := figures[name](opt)
 		fmt.Println(tbl.Format())
 		fmt.Printf("(figure %s regenerated in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "webbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opt.Trace.WriteTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "webbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		for _, kind := range opt.Trace.Kinds() {
+			fmt.Printf("trace %s: p50 %v p99 %v (%d spans retained)\n",
+				kind, opt.Trace.Quantile(kind, 0.50), opt.Trace.Quantile(kind, 0.99),
+				len(opt.Trace.Finished()))
+		}
+		fmt.Printf("trace written to %s\n", *trace)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"iolite/internal/httpd"
 	"iolite/internal/kernel"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -103,6 +104,12 @@ type ProxyConfig struct {
 	// single in-flight fetch is bounded by the transport, not preempted.
 	// 0 means retries alone bound the wait.
 	Deadline time.Duration
+
+	// Obs, when set, opens a span per proxied request: parse, cache
+	// lookup, origin fetch (dispatch), retry backoff, and client send are
+	// phases; retransmit stalls on either socket are carved out as their
+	// own phase. Nil keeps the proxy uninstrumented.
+	Obs *obs.Collector
 }
 
 // proxyEntry is one cached response (header + body, exactly as the origin
@@ -209,6 +216,10 @@ func (px *Proxy) ResetStats() {
 	px.retries, px.staleServed, px.shed = 0, 0, 0
 }
 
+// ResetMeters aliases ResetStats so a proxy drops into an obs.ResetSet
+// alongside cost models, hosts, and collectors.
+func (px *Proxy) ResetMeters() { px.ResetStats() }
+
 func (px *Proxy) acceptLoop(p *sim.Proc) {
 	for {
 		cfd, err := px.m.Accept(p, px.proc, px.lfd)
@@ -227,7 +238,21 @@ const proxyRecvChunk = 64 << 10
 func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 	var pending []byte
 	var buf []byte
+	// The client socket's endpoint, when it has one, lets spans carve
+	// retransmit stalls on the client side out of the send phase.
+	var cep *netsim.Endpoint
+	if px.cfg.Obs != nil {
+		if d, err := px.proc.Desc(cfd); err == nil {
+			cep, _ = kernel.EndpointOf(d)
+		}
+	}
 	for {
+		var sp *obs.Span
+		if px.cfg.Obs != nil {
+			sp = px.cfg.Obs.Start(px.cfg.Mode.String(), p.Now())
+			sp.Enter(p.Now(), obs.PhaseParse)
+			p.SetAttrib(sp)
+		}
 		var path string
 		var keepalive, ok bool
 		for {
@@ -239,6 +264,7 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 			if px.cfg.Mode.RefMode() {
 				a, err := px.m.IOLRead(p, px.proc, cfd, proxyRecvChunk)
 				if err != nil {
+					sp.Abandon()
 					px.m.Close(p, px.proc, cfd)
 					return
 				}
@@ -250,6 +276,7 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 				}
 				n, err := px.m.ReadPOSIX(p, px.proc, cfd, buf)
 				if err != nil {
+					sp.Abandon()
 					px.m.Close(p, px.proc, cfd)
 					return
 				}
@@ -258,6 +285,7 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 		}
 
 		px.m.Host.Use(p, proxyRequestWork)
+		sp.Enter(p.Now(), obs.PhaseCacheLookup)
 
 		// Pin the entry (inflight++) before any further yield: a concurrent
 		// miss may evict it mid-send, and its resources — above all the
@@ -284,7 +312,8 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 			e.inflight++
 		} else {
 			px.misses++
-			fresh, ferr := px.fetchRetry(p, path)
+			sp.Enter(p.Now(), obs.PhaseDispatch)
+			fresh, ferr := px.fetchRetry(p, path, sp)
 			switch {
 			case ferr == nil:
 				e = fresh
@@ -308,13 +337,23 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 					status = []byte("HTTP/1.1 504 Gateway Timeout\r\nContent-Length: 0\r\n\r\n")
 				}
 				px.m.WritePOSIX(p, px.proc, cfd, status)
+				sp.Abandon()
+				p.SetAttrib(nil)
 				px.m.Close(p, px.proc, cfd)
 				return
 			}
 		}
 		px.requests++
 		e.last = p.Now()
+		sp.Enter(p.Now(), obs.PhaseSend)
+		var stallBase sim.Duration
+		if sp != nil && cep != nil {
+			stallBase = cep.StallTime() + cep.PeerStallTime()
+		}
 		sent := px.send(p, cfd, e)
+		if sp != nil && cep != nil {
+			sp.Stall(cep.StallTime() + cep.PeerStallTime() - stallBase)
+		}
 		e.inflight--
 		if e.dead && e.inflight == 0 {
 			px.release(p, e)
@@ -327,12 +366,15 @@ func (px *Proxy) handleConn(p *sim.Proc, cfd int) {
 				px.release(p, stale)
 			}
 		}
+		p.SetAttrib(nil)
 		if !sent {
+			sp.Abandon()
 			px.aborted++
 			px.m.Close(p, px.proc, cfd)
 			return
 		}
 		px.bytesOut += e.size
+		sp.Finish(p.Now())
 
 		if !keepalive {
 			px.m.Close(p, px.proc, cfd)
@@ -374,10 +416,10 @@ func (px *Proxy) backoff(attempt int) time.Duration {
 // would pass during the next backoff sheds immediately with an error
 // matching kernel.ErrTimedOut — the client gets its 504 now, not after the
 // timers run out.
-func (px *Proxy) fetchRetry(p *sim.Proc, path string) (*proxyEntry, error) {
+func (px *Proxy) fetchRetry(p *sim.Proc, path string, sp *obs.Span) (*proxyEntry, error) {
 	start := p.Now()
 	for attempt := 0; ; attempt++ {
-		e, err := px.fetch(p, path)
+		e, err := px.fetch(p, path, sp)
 		if err == nil {
 			return e, nil
 		}
@@ -390,14 +432,18 @@ func (px *Proxy) fetchRetry(p *sim.Proc, path string) (*proxyEntry, error) {
 		}
 		px.retries++
 		if d > 0 {
+			// The backoff wait is its own phase: recovery idle time, not
+			// origin service time.
+			sp.Enter(p.Now(), obs.PhaseBackoff)
 			px.m.Eng.Wheel().Sleep(p, d)
+			sp.Enter(p.Now(), obs.PhaseDispatch)
 		}
 	}
 }
 
 // fetch retrieves path from the origin over a fresh outbound connection and
 // returns it as a cache entry (the complete response, header included).
-func (px *Proxy) fetch(p *sim.Proc, path string) (*proxyEntry, error) {
+func (px *Proxy) fetch(p *sim.Proc, path string, sp *obs.Span) (*proxyEntry, error) {
 	ofd, err := px.m.Connect(p, px.proc, px.cfg.OriginLink, px.cfg.Origin, netsim.ConnOpts{
 		Tss:           px.cfg.Tss,
 		ServerRefMode: px.cfg.OriginRef,
@@ -406,6 +452,17 @@ func (px *Proxy) fetch(p *sim.Proc, path string) (*proxyEntry, error) {
 		return nil, err
 	}
 	defer px.m.Close(p, px.proc, ofd)
+	if sp != nil {
+		// Carve the origin connection's retransmit stalls out of the
+		// dispatch phase — under injected loss, recovery time on the
+		// origin leg shows up as its own phase, not as origin service.
+		if d, err := px.proc.Desc(ofd); err == nil {
+			if oep, ok := kernel.EndpointOf(d); ok {
+				base := oep.StallTime() + oep.PeerStallTime()
+				defer func() { sp.Stall(oep.StallTime() + oep.PeerStallTime() - base) }()
+			}
+		}
+	}
 	if _, err := px.m.WritePOSIX(p, px.proc, ofd, httpd.FormatRequest(path, false)); err != nil {
 		return nil, err
 	}

@@ -251,6 +251,9 @@ func (c *Cache) EvictionStats() (inserts, evictions, invalidated int64) {
 }
 
 // ResetStats zeroes the counters.
+// ResetMeters aliases ResetStats for the obs reset seam.
+func (c *Cache) ResetMeters() { c.ResetStats() }
+
 func (c *Cache) ResetStats() {
 	c.hits, c.misses, c.hitBytes, c.missBytes = 0, 0, 0, 0
 	c.inserts, c.evictions, c.invalidated = 0, 0, 0

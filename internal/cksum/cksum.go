@@ -104,6 +104,9 @@ func (c *Cache) HitRate() float64 {
 
 // ResetStats zeroes the hit/miss counters (cached sums stay valid), so a
 // measurement window can exclude warmup.
+// ResetMeters aliases ResetStats for the obs reset seam.
+func (c *Cache) ResetMeters() { c.ResetStats() }
+
 func (c *Cache) ResetStats() {
 	c.hits, c.misses, c.hitBytes, c.missBytes = 0, 0, 0, 0
 }

@@ -11,6 +11,7 @@ import (
 	"iolite/internal/kernel"
 	"iolite/internal/mem"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -57,6 +58,11 @@ type ChaosParams struct {
 
 	Warmup  time.Duration
 	Measure time.Duration
+
+	// Obs, when set, traces every request — retransmit stalls surface as
+	// a distinct span phase, and the samplers track in-flight depth and
+	// cumulative retransmissions.
+	Obs *obs.Collector
 }
 
 // ChaosResult is one run's outcome.
@@ -91,6 +97,10 @@ type ChaosResult struct {
 	// after the run drains — nonzero means an abandoned delivery kept a
 	// *core.Agg reference.
 	LeakPages int
+	// P50Us / P99Us are requester-observed latency percentiles over the
+	// measure window, in microseconds.
+	P50Us float64
+	P99Us float64
 }
 
 // RunChaos executes one chaos run on the sock-local ref topology.
@@ -122,6 +132,9 @@ func RunChaos(cp ChaosParams) ChaosResult {
 
 	eng := sim.New()
 	costs := sim.DefaultCosts()
+	if cp.Obs != nil {
+		cp.Obs.Attach(eng, costs)
+	}
 	// The checksum cache is load-bearing under faults: a retransmitted ref
 	// segment re-checksums with one lookup per piece instead of re-paying
 	// the full pass, so recovery overhead is wire bytes, not CPU.
@@ -146,6 +159,7 @@ func RunChaos(cp ChaosParams) ChaosResult {
 		Respawn:   true,
 		Replay:    cp.Replay,
 		Name:      "cw",
+		Obs:       cp.Obs,
 		OnRetire:  func(w *fcgi.Worker) { aggs.Drop(w) },
 		Handler: func(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
 			w.M.Host.Use(p, 20*time.Microsecond)
@@ -157,30 +171,51 @@ func RunChaos(cp ChaosParams) ChaosResult {
 
 	end := sim.Time(cp.Warmup + cp.Measure)
 	params := []byte(fmt.Sprintf("/doc/%d", cp.DocBytes))
+	lat := obs.NewHistogram()
 	var done, failed int64
 	var lats []time.Duration
 	for i := 0; i < cp.Requesters; i++ {
 		eng.Go(fmt.Sprintf("req%d", i), func(p *sim.Proc) {
 			for p.Now() < end {
 				start := p.Now()
-				resp, err := pool.Do(p, fcgi.Request{Params: params, Idempotent: true})
+				sp := cp.Obs.Start("chaos", start)
+				if sp != nil {
+					p.SetAttrib(sp)
+				}
+				resp, err := pool.Do(p, fcgi.Request{Params: params, Idempotent: true, Span: sp})
+				if sp != nil {
+					p.SetAttrib(nil)
+				}
 				if err != nil {
 					// A failed request pauses before the next attempt —
 					// pool.Do fails fast when every worker is briefly
 					// broken, and an unpaced retry loop would spin at one
 					// sim instant, starving the respawn that fixes it.
+					sp.Abandon()
 					failed++
 					p.Sleep(100 * time.Microsecond)
 					continue
 				}
+				sp.Finish(p.Now())
 				resp.Release()
 				done++
 				if start >= sim.Time(cp.Warmup) {
 					lats = append(lats, p.Now().Sub(start))
+					lat.Observe(int64(p.Now().Sub(start)))
 				}
 				p.Sleep(cp.Think)
 			}
 		})
+	}
+	if cp.Obs != nil {
+		// Samplers: mux occupancy, open spans, and cumulative retransmitted
+		// segments — the recovery story as counter tracks.
+		cp.Obs.SampleEvery("pool-inflight", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { return float64(pool.InFlight()) })
+		cp.Obs.SampleEvery("active-spans", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { return float64(cp.Obs.ActiveSpans()) })
+		cp.Obs.SampleEvery("retrans-segs", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { segs, _ := m.Host.RetransStats(); return float64(segs) })
 	}
 	if cp.KillEvery > 0 {
 		eng.Go("killer", func(p *sim.Proc) {
@@ -199,10 +234,11 @@ func RunChaos(cp ChaosParams) ChaosResult {
 
 	res := ChaosResult{Label: chaosLabel(cp)}
 	var warmDone int64
+	var reset obs.ResetSet
+	reset.Add(costs, m.Host, cp.Obs)
 	eng.At(sim.Time(cp.Warmup), func() {
 		warmDone = done
-		costs.ResetMeter()
-		m.Host.ResetNetStats()
+		reset.Reset()
 	})
 	eng.At(end, func() {
 		res.Requests = done - warmDone
@@ -233,6 +269,8 @@ func RunChaos(cp ChaosParams) ChaosResult {
 	for _, w := range pool.Workers() {
 		res.LeakPages += leakPages(w.Proc.Pool.LivePages())
 	}
+	res.P50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Us = float64(lat.Quantile(0.99)) / 1e3
 	return res
 }
 
@@ -370,9 +408,10 @@ func FigChaos(opt Options) *Table {
 				Replay:    c.replay,
 				Warmup:    warm,
 				Measure:   meas,
+				Obs:       opt.Trace,
 			})
-			opt.progress("FigChaos %s %s: %.1f kreq/s (p99 %.2fms, failed %d, replays %d, retrans %.2f%%, leaks %d)",
-				c.name, r.Label, r.GoodputKReq, r.P99Ms, r.Failed, r.Replays, r.RetransPct*100, r.LeakPages)
+			opt.progress("FigChaos %s %s: %.1f kreq/s (p50 %.0fµs p99 %.2fms, failed %d, replays %d, retrans %.2f%%, leaks %d)",
+				c.name, r.Label, r.GoodputKReq, r.P50Us, r.P99Ms, r.Failed, r.Replays, r.RetransPct*100, r.LeakPages)
 			row.Values = append(row.Values, r.GoodputKReq)
 			if loss == notesAt {
 				t.Notes = append(t.Notes, fmt.Sprintf(

@@ -30,6 +30,8 @@ func benchChaos(b *testing.B, cp ChaosParams) {
 			b.ReportMetric(r.RetransPct*100, "retrans_pct")
 			b.ReportMetric(r.CopiedKBPerReq, "copiedKB/req")
 			b.ReportMetric(float64(r.LeakPages), "leak_pages")
+			b.ReportMetric(r.P50Us, "latency_p50_us")
+			b.ReportMetric(r.P99Us, "latency_p99_us")
 		}
 	}
 }

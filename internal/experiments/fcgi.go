@@ -6,6 +6,7 @@ import (
 
 	"iolite/internal/fcgi"
 	"iolite/internal/kernel"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -40,6 +41,9 @@ type FCGIParams struct {
 
 	Warmup  time.Duration
 	Measure time.Duration
+
+	// Obs, when set, traces every request through the pool.
+	Obs *obs.Collector
 }
 
 // FCGIResult is one run's outcome.
@@ -54,6 +58,10 @@ type FCGIResult struct {
 	// twice).
 	CopiedMB float64
 	CPUUtil  float64
+	// P50Us / P99Us are requester-observed latency percentiles over the
+	// measure window, in microseconds.
+	P50Us float64
+	P99Us float64
 }
 
 // RunFCGI executes one fcgi worker-pool experiment.
@@ -82,6 +90,9 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 
 	eng := sim.New()
 	costs := sim.DefaultCosts()
+	if fp.Obs != nil {
+		fp.Obs.Attach(eng, costs)
+	}
 	m := kernel.NewMachine(eng, costs, kernel.Config{})
 	srv := m.NewProcess("fcgi-srv", 2<<20)
 
@@ -98,6 +109,7 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 		Depth:   fp.Depth,
 		Ref:     fp.Ref,
 		Name:    "fw",
+		Obs:     fp.Obs,
 		Handler: func(p *sim.Proc, w *fcgi.Worker, req *fcgi.ServerRequest) {
 			m.Host.Use(p, 20*time.Microsecond) // request parse/dispatch work
 			p.Sleep(fp.AppDelay)               // the backend wait
@@ -113,17 +125,32 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 
 	end := sim.Time(fp.Warmup + fp.Measure)
 	params := []byte(fmt.Sprintf("/doc/%d", fp.DocBytes))
+	lat := obs.NewHistogram()
+	latFrom := sim.Time(fp.Warmup)
 	var done, failed int64
 	for i := 0; i < fp.Requesters; i++ {
 		eng.Go(fmt.Sprintf("req%d", i), func(p *sim.Proc) {
 			for p.Now() < end {
-				resp, err := pool.Do(p, fcgi.Request{Params: params})
+				start := p.Now()
+				sp := fp.Obs.Start("fcgi", start)
+				if sp != nil {
+					p.SetAttrib(sp)
+				}
+				resp, err := pool.Do(p, fcgi.Request{Params: params, Span: sp})
+				if sp != nil {
+					p.SetAttrib(nil)
+				}
 				if err != nil {
+					sp.Abandon()
 					failed++
 					return
 				}
+				sp.Finish(p.Now())
 				resp.Release()
 				done++
+				if start >= latFrom {
+					lat.Observe(int64(p.Now().Sub(start)))
+				}
 			}
 		})
 	}
@@ -134,10 +161,11 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 	}
 	res := FCGIResult{Label: fmt.Sprintf("%s w=%d d=%d", mode, fp.Workers, fp.Depth)}
 	var warmDone int64
+	var reset obs.ResetSet
+	reset.Add(costs, m.CPU(), fp.Obs)
 	eng.At(sim.Time(fp.Warmup), func() {
 		warmDone = done
-		costs.ResetMeter()
-		m.CPU().ResetStats()
+		reset.Reset()
 	})
 	eng.At(end, func() {
 		res.Requests = done - warmDone
@@ -147,6 +175,8 @@ func RunFCGI(fp FCGIParams) FCGIResult {
 	})
 	eng.Run()
 	res.Failures = failed
+	res.P50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Us = float64(lat.Quantile(0.99)) / 1e3
 	return res
 }
 
@@ -200,9 +230,10 @@ func FigFCGI(opt Options) *Table {
 				Ref:     cfg.ref,
 				Warmup:  warm,
 				Measure: meas,
+				Obs:     opt.Trace,
 			})
-			opt.progress("FigFCGI %s: %.1f kreq/s (copied %.1f MB, cpu %.2f)",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil)
+			opt.progress("FigFCGI %s: %.1f kreq/s (copied %.1f MB, cpu %.2f, p50 %.0fµs p99 %.0fµs)",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.P50Us, r.P99Us)
 			row.Values = append(row.Values, r.KReqPerSec)
 			if n == 4 {
 				t.Notes = append(t.Notes, fmt.Sprintf(

@@ -28,6 +28,8 @@ func benchFCGI(b *testing.B, workers, depth int, ref bool) {
 			b.ReportMetric(r.KReqPerSec, "kreq/s")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.CPUUtil*100, "cpu_pct")
+			b.ReportMetric(r.P50Us, "latency_p50_us")
+			b.ReportMetric(r.P99Us, "latency_p99_us")
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"iolite/internal/fcgi"
 	"iolite/internal/kernel"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -72,6 +73,11 @@ type FCGINetParams struct {
 
 	Warmup  time.Duration
 	Measure time.Duration
+
+	// Obs, when set, traces every request through the pool — including,
+	// for sock-remote, the trace id riding the record headers to the
+	// worker machine and its service interval marked back on the span.
+	Obs *obs.Collector
 }
 
 // FCGINetResult is one run's outcome.
@@ -98,6 +104,10 @@ type FCGINetResult struct {
 	// SyscallsPerReq is the kernel crossings charged per completed request
 	// across the topology — the meter the submission ring exists to lower.
 	SyscallsPerReq float64
+	// P50Us / P99Us are requester-observed latency percentiles over the
+	// measure window, in microseconds.
+	P50Us float64
+	P99Us float64
 }
 
 // RunFCGINet executes one fcgi transport experiment.
@@ -129,6 +139,9 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 
 	eng := sim.New()
 	costs := sim.DefaultCosts()
+	if fp.Obs != nil {
+		fp.Obs.Attach(eng, costs)
+	}
 	m := kernel.NewMachine(eng, costs, kernel.Config{})
 	srv := m.NewProcess("fcgi-srv", 2<<20)
 
@@ -161,6 +174,7 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 		Transport: tr,
 		Respawn:   true,
 		Name:      "fw",
+		Obs:       fp.Obs,
 		OnRetire: func(w *fcgi.Worker) {
 			aggs.Drop(w)
 			raws.Drop(w)
@@ -180,19 +194,42 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 
 	end := sim.Time(fp.Warmup + fp.Measure)
 	params := []byte(fmt.Sprintf("/doc/%d", fp.DocBytes))
+	lat := obs.NewHistogram()
+	latFrom := sim.Time(fp.Warmup)
 	var done, failed int64
 	for i := 0; i < fp.Requesters; i++ {
 		eng.Go(fmt.Sprintf("req%d", i), func(p *sim.Proc) {
 			for p.Now() < end {
-				resp, err := pool.Do(p, fcgi.Request{Params: params})
+				start := p.Now()
+				sp := fp.Obs.Start(string(fp.Placement), start)
+				if sp != nil {
+					p.SetAttrib(sp)
+				}
+				resp, err := pool.Do(p, fcgi.Request{Params: params, Span: sp})
+				if sp != nil {
+					p.SetAttrib(nil)
+				}
 				if err != nil {
+					sp.Abandon()
 					failed++
 					return
 				}
+				sp.Finish(p.Now())
 				resp.Release()
 				done++
+				if start >= latFrom {
+					lat.Observe(int64(p.Now().Sub(start)))
+				}
 			}
 		})
+	}
+	if fp.Obs != nil {
+		// Periodic wheel samplers: mux occupancy and open-span population,
+		// exported as counter tracks in the trace.
+		fp.Obs.SampleEvery("pool-inflight", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { return float64(pool.InFlight()) })
+		fp.Obs.SampleEvery("active-spans", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { return float64(fp.Obs.ActiveSpans()) })
 	}
 
 	mode := "copy"
@@ -204,15 +241,14 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 	}
 	res := FCGINetResult{Label: fmt.Sprintf("%s %s w=%d d=%d", fp.Placement, mode, fp.Workers, fp.Depth)}
 	var warmDone int64
+	var reset obs.ResetSet
+	reset.Add(costs, m.CPU(), m.Host, fp.Obs)
+	if wm != m {
+		reset.Add(wm.CPU(), wm.Host)
+	}
 	eng.At(sim.Time(fp.Warmup), func() {
 		warmDone = done
-		costs.ResetMeter()
-		m.CPU().ResetStats()
-		m.Host.ResetNetStats()
-		if wm != m {
-			wm.CPU().ResetStats()
-			wm.Host.ResetNetStats()
-		}
+		reset.Reset()
 	})
 	eng.At(end, func() {
 		res.Requests = done - warmDone
@@ -235,6 +271,8 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 	})
 	eng.Run()
 	res.Failures = failed
+	res.P50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Us = float64(lat.Quantile(0.99)) / 1e3
 	return res
 }
 
@@ -302,9 +340,10 @@ func FigFCGINet(opt Options) *Table {
 				Ring:      cfg.ring,
 				Warmup:    warm,
 				Measure:   meas,
+				Obs:       opt.Trace,
 			})
-			opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f, %.1f sys/req)",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+			opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f, %.1f sys/req, p50 %.0fµs p99 %.0fµs)",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq, r.P50Us, r.P99Us)
 			row.Values = append(row.Values, r.KReqPerSec)
 			if cfg.placement == PlaceSockLocal && cfg.ref {
 				if cfg.ring {

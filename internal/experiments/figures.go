@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iolite/internal/httpd"
+	"iolite/internal/obs"
 	"iolite/internal/wload"
 )
 
@@ -14,6 +15,10 @@ type Options struct {
 	Quick bool
 	// Verbose receives progress lines (may be nil).
 	Progress func(string)
+	// Trace, when set, turns on request-lifecycle tracing: every figure
+	// run attaches this collector, and the caller exports it (webbench
+	// -trace). Nil keeps the hot paths at their zero-cost default.
+	Trace *obs.Collector
 }
 
 func (o Options) progress(format string, args ...interface{}) {
@@ -64,6 +69,7 @@ func singleFileFigure(title string, cgi, persistent bool, opt Options) *Table {
 				Warmup:     warm,
 				Measure:    meas,
 				Seed:       1,
+				Obs:        opt.Trace,
 			}
 			if cgi {
 				wp.CGISize = size
@@ -172,6 +178,7 @@ func Fig8(opt Options) *Table {
 				Warmup:     warm,
 				Measure:    meas,
 				Seed:       2,
+				Obs:        opt.Trace,
 			})
 			opt.progress("Fig8 %s %s: %.1f Mb/s (hit %.2f disk %.2f)", spec.Name, sc.Label(), r.Mbps, r.HitRate, r.DiskUtil)
 			row.Values = append(row.Values, r.Mbps)
@@ -224,6 +231,7 @@ func runSubtrace(sc ServerConfig, sizes []int64, warm, meas time.Duration, opt O
 			Warmup:     warm,
 			Measure:    meas,
 			Seed:       3,
+			Obs:        opt.Trace,
 		})
 		opt.progress("subtrace %dMB %s: %.1f Mb/s (hit %.2f disk %.2f cpu %.2f)",
 			ds>>20, sc.Label(), r.Mbps, r.HitRate, r.DiskUtil, r.CPUUtil)
@@ -338,6 +346,7 @@ func Fig12(opt Options) *Table {
 				Warmup:     warm,
 				Measure:    meas,
 				Seed:       4,
+				Obs:        opt.Trace,
 			})
 			opt.progress("Fig12 %s %s (%d clients): %.1f Mb/s (hit %.2f)", label, sc.Label(), pt.clients, r.Mbps, r.HitRate)
 			row.Values = append(row.Values, r.Mbps)

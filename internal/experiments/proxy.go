@@ -10,6 +10,7 @@ import (
 	"iolite/internal/httpd"
 	"iolite/internal/kernel"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -42,6 +43,9 @@ type ProxyParams struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	Seed    int64
+
+	// Obs, when set, traces requests through the serving tier.
+	Obs *obs.Collector
 }
 
 // ProxyResult is one proxy run's outcome, including the charged-cost
@@ -73,6 +77,10 @@ type ProxyResult struct {
 	// SyscallsPerReq is the kernel crossings charged per request during
 	// measurement, topology-wide — the submission-ring meter.
 	SyscallsPerReq float64
+	// P50Us / P99Us are client-observed request latency percentiles over
+	// the measure window, in microseconds.
+	P50Us float64
+	P99Us float64
 }
 
 // originMachineConfig builds the kernel config for an origin (or direct)
@@ -116,14 +124,22 @@ func RunProxy(pp ProxyParams) ProxyResult {
 
 	eng := sim.New()
 	costs := sim.DefaultCosts()
+	if pp.Obs != nil {
+		pp.Obs.Attach(eng, costs)
+	}
 
 	// Origin tier.
 	origin := kernel.NewMachine(eng, costs, originMachineConfig(pp.Origin, 0))
 	originLst := netsim.NewListener(origin.Host)
+	srvObs := pp.Obs
+	if !pp.Direct {
+		srvObs = nil // the proxy fronts the topology; trace there
+	}
 	srv := httpd.NewServer(httpd.Config{
 		Kind:     pp.Origin.Kind,
 		Machine:  origin,
 		Listener: originLst,
+		Obs:      srvObs,
 	})
 	paths := make([]string, pp.Docs)
 	for i := range paths {
@@ -153,6 +169,7 @@ func RunProxy(pp ProxyParams) ProxyResult {
 			OriginLink: originLink,
 			OriginRef:  pp.Origin.Kind.Lite(),
 			Tss:        pp.Tss,
+			Obs:        pp.Obs,
 		})
 		frontHost = proxy.Host
 		frontLst = proxyLst
@@ -172,6 +189,7 @@ func RunProxy(pp ProxyParams) ProxyResult {
 		links[i] = netsim.NewLink(eng, hosts[i], frontHost, 100_000_000, 100*time.Microsecond)
 	}
 	stats := make([]httpd.ClientStats, pp.Clients)
+	lat := obs.NewHistogram()
 	for c := 0; c < pp.Clients; c++ {
 		c := c
 		rng := rand.New(rand.NewSource(pp.Seed + int64(c)*7919))
@@ -182,6 +200,8 @@ func RunProxy(pp ProxyParams) ProxyResult {
 			Tss:        pp.Tss,
 			RefServer:  refFront,
 			Persistent: pp.Persistent,
+			Lat:        lat,
+			LatFrom:    sim.Time(pp.Warmup),
 		}
 		eng.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
 			httpd.RunClient(p, cfg, func() (string, bool) {
@@ -207,22 +227,33 @@ func RunProxy(pp ProxyParams) ProxyResult {
 			warmReqs, _, _, out, warmAborted = px.Stats()
 			warmBytes = out
 		} else {
-			warmReqs, _, warmBytes, warmAborted = srv.Stats()
+			ws := srv.Stats()
+			warmReqs, warmBytes, warmAborted = ws.Requests, ws.TotalBytes, ws.Aborted
 		}
-		costs.ResetMeter()
+		var reset obs.ResetSet
+		reset.Add(costs, serveMachine.CPU(), pp.Obs)
 		if ck := serveMachine.CkCache; ck != nil {
-			ck.ResetStats()
+			reset.Add(ck)
 		}
-		serveMachine.CPU().ResetStats()
-		serveMachine.Host.ResetNetStats()
+		reset.Add(serveMachine.Host)
+		reset.Reset()
 	})
+	if pp.Obs != nil {
+		pp.Obs.SampleEvery("active-spans", sim.Duration(time.Millisecond), end,
+			func(sim.Time) float64 { return float64(pp.Obs.ActiveSpans()) })
+		if px != nil {
+			pp.Obs.SampleEvery("proxy-hit-rate", sim.Duration(time.Millisecond), end,
+				func(sim.Time) float64 { return px.HitRate() })
+		}
+	}
 	eng.At(end, func() {
 		var reqs, total, aborted int64
 		if px != nil {
 			reqs, _, _, total, aborted = px.Stats()
 			res.HitRate = px.HitRate()
 		} else {
-			reqs, _, total, aborted = srv.Stats()
+			ss := srv.Stats()
+			reqs, total, aborted = ss.Requests, ss.TotalBytes, ss.Aborted
 		}
 		res.Requests = reqs - warmReqs
 		res.Aborted = aborted - warmAborted
@@ -244,6 +275,8 @@ func RunProxy(pp ProxyParams) ProxyResult {
 	for i := range stats {
 		res.Errors += stats[i].Errors
 	}
+	res.P50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Us = float64(lat.Quantile(0.99)) / 1e3
 	return res
 }
 
@@ -269,16 +302,16 @@ func FigProxy(opt Options) *Table {
 	for _, sc := range proxyKinds {
 		row := Row{Label: sc.Label()}
 		direct := RunProxy(ProxyParams{
-			Origin: sc, Direct: true, Warmup: warm, Measure: meas, Seed: 7,
+			Origin: sc, Direct: true, Warmup: warm, Measure: meas, Seed: 7, Obs: opt.Trace,
 		})
 		opt.progress("FigProxy %s: %.1f Mb/s (copied %.1f MB)", direct.Label, direct.Mbps, direct.CopiedMB)
 		row.Values = append(row.Values, direct.Mbps)
 		for _, mode := range modes {
 			r := RunProxy(ProxyParams{
-				Origin: sc, Mode: mode, Warmup: warm, Measure: meas, Seed: 7,
+				Origin: sc, Mode: mode, Warmup: warm, Measure: meas, Seed: 7, Obs: opt.Trace,
 			})
-			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f, %.1f pkts/req, fill %.2f, %.1f sys/req)",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+			opt.progress("FigProxy %s: %.1f Mb/s (hit %.2f, copied %.1f MB, ck-hit %.2f, %.1f pkts/req, fill %.2f, %.1f sys/req, p50 %.0fµs p99 %.0fµs)",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.PktsPerReq, r.SegFill, r.SyscallsPerReq, r.P50Us, r.P99Us)
 			row.Values = append(row.Values, r.Mbps)
 			if sc.Kind == httpd.FlashLite {
 				t.Notes = append(t.Notes, fmt.Sprintf(

@@ -36,6 +36,8 @@ func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
 			b.ReportMetric(r.PktsPerReq, "pkts/req")
 			b.ReportMetric(r.SegFill*100, "segfill_pct")
 			b.ReportMetric(r.SyscallsPerReq, "syscalls_per_req")
+			b.ReportMetric(r.P50Us, "latency_p50_us")
+			b.ReportMetric(r.P99Us, "latency_p99_us")
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"iolite/internal/kernel"
 	"iolite/internal/mem"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 	"iolite/internal/wload"
 )
@@ -83,6 +84,12 @@ type WebParams struct {
 	Measure time.Duration
 
 	Seed int64
+
+	// Obs, when set, traces every request through the server (spans,
+	// phase attribution, per-kind latency histograms). Latency
+	// percentiles in the result do not require it — clients always
+	// measure their own.
+	Obs *obs.Collector
 }
 
 // WebResult is one experiment outcome.
@@ -96,6 +103,10 @@ type WebResult struct {
 	HitRate  float64
 	CPUUtil  float64
 	DiskUtil float64
+	// P50Us / P99Us are client-observed request latency percentiles over
+	// the measure window, in microseconds.
+	P50Us float64
+	P99Us float64
 }
 
 // RunWeb executes one experiment and returns its result.
@@ -133,6 +144,9 @@ func RunWeb(wp WebParams) WebResult {
 		kcfg.ChecksumCache = !wp.Server.NoCksumCache
 	}
 	m := kernel.NewMachine(eng, costs, kcfg)
+	if wp.Obs != nil {
+		wp.Obs.Attach(eng, costs)
+	}
 	lst := netsim.NewListener(m.Host)
 	srv := httpd.NewServer(httpd.Config{
 		Kind:     wp.Server.Kind,
@@ -143,6 +157,7 @@ func RunWeb(wp WebParams) WebResult {
 		// at a time (§5.3); pin that shape so Figs 5-6 keep measuring it.
 		// The multiplexed protocol (depth > 1) is FigFCGI's subject.
 		CGIDepth: 1,
+		Obs:      wp.Obs,
 	})
 
 	// Workload.
@@ -186,6 +201,7 @@ func RunWeb(wp WebParams) WebResult {
 		links[i] = netsim.NewLink(eng, hosts[i], m.Host, 100_000_000, wp.Delay+100*time.Microsecond)
 	}
 	stats := make([]httpd.ClientStats, wp.Clients)
+	lat := obs.NewHistogram()
 	for c := 0; c < wp.Clients; c++ {
 		c := c
 		rng := rand.New(rand.NewSource(wp.Seed + int64(c)*7919))
@@ -196,6 +212,8 @@ func RunWeb(wp WebParams) WebResult {
 			Tss:        wp.Tss,
 			RefServer:  isLite,
 			Persistent: wp.Persistent,
+			Lat:        lat,
+			LatFrom:    sim.Time(wp.Warmup),
 		}
 		eng.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
 			httpd.RunClient(p, cfg, func() (string, bool) {
@@ -209,18 +227,19 @@ func RunWeb(wp WebParams) WebResult {
 
 	// Snapshot server counters at the warmup boundary and at the end.
 	var warmBytes, warmReqs int64
+	var reset obs.ResetSet
+	reset.Add(m.CPU(), m.Disk, m.FileCache, wp.Obs)
 	eng.At(sim.Time(wp.Warmup), func() {
-		warmReqs, _, warmBytes, _ = srv.Stats()
-		m.CPU().ResetStats()
-		m.Disk.ResetStats()
-		m.FileCache.ResetStats()
+		ws := srv.Stats()
+		warmReqs, warmBytes = ws.Requests, ws.TotalBytes
+		reset.Reset()
 	})
 	var res WebResult
 	res.Label = wp.Server.Label()
 	eng.At(end, func() {
-		reqs, _, total, _ := srv.Stats()
-		res.Requests = reqs - warmReqs
-		res.Mbps = float64(total-warmBytes) * 8 / wp.Measure.Seconds() / 1e6
+		ss := srv.Stats()
+		res.Requests = ss.Requests - warmReqs
+		res.Mbps = float64(ss.TotalBytes-warmBytes) * 8 / wp.Measure.Seconds() / 1e6
 		res.CPUUtil = m.CPU().Utilization()
 		res.DiskUtil = m.Disk.Utilization()
 		var hits, misses int64
@@ -238,5 +257,7 @@ func RunWeb(wp WebParams) WebResult {
 	for i := range stats {
 		res.Errors += stats[i].Errors
 	}
+	res.P50Us = float64(lat.Quantile(0.50)) / 1e3
+	res.P99Us = float64(lat.Quantile(0.99)) / 1e3
 	return res
 }

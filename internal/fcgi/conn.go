@@ -5,6 +5,7 @@ import (
 
 	"iolite/internal/core"
 	"iolite/internal/kernel"
+	"iolite/internal/netsim"
 	"iolite/internal/sim"
 	"iolite/internal/uring"
 )
@@ -118,6 +119,11 @@ type Conn struct {
 	// never pay a setsockopt syscall.
 	corkable bool
 
+	// ep is the socket endpoint behind wfd, probed uncharged at
+	// construction like corkable; nil on pipe channels. Observability
+	// samples its loss-recovery stall around blocking waits.
+	ep *netsim.Endpoint
+
 	// closed latches Close: a Conn handle outlives its descriptors (a
 	// failed worker's mux is torn down while writers still hold the
 	// handle), and the fd numbers it cached may be reused by a fresh
@@ -163,8 +169,22 @@ func NewConnModes(m *kernel.Machine, pr *kernel.Process, rfd, wfd, id int, rmode
 	c := &Conn{m: m, pr: pr, rfd: rfd, wfd: wfd, id: id, rmode: rmode, wmode: wmode}
 	if d, err := pr.Desc(wfd); err == nil {
 		c.corkable = kernel.Corkable(d)
+		if ep, ok := kernel.EndpointOf(d); ok {
+			c.ep = ep
+		}
 	}
 	return c
+}
+
+// StallTime reports the loss-recovery stall accumulated on the conn's
+// socket channel, both directions (our sends and the peer's — either
+// one stalls a request blocked on this conn). Pipe channels have no
+// loss and report 0.
+func (c *Conn) StallTime() sim.Duration {
+	if c.ep == nil {
+		return 0
+	}
+	return c.ep.StallTime() + c.ep.PeerStallTime()
 }
 
 // ID returns the connection's diagnostic id.
@@ -228,11 +248,11 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 		return ErrBroken
 	}
 
-	var hdr [HeaderLen]byte
-	rec.Header.encode(hdr[:])
+	var hbuf [HeaderLen + TraceLen]byte
+	hdr := hbuf[:rec.Header.encode(hbuf[:])]
 
 	if c.wmode.refWrite() {
-		out := c.packHeader(p, hdr[:])
+		out := c.packHeader(p, hdr)
 		if rec.Agg != nil {
 			out.Concat(rec.Agg)
 		} else if len(rec.Bytes) > 0 {
@@ -265,7 +285,7 @@ func (c *Conn) WriteRecord(p *sim.Proc, rec Record) error {
 	// copy per payload byte is the write into the socket send buffer
 	// itself, below.
 	c.cork(p, true)
-	if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, hdr[:]); err != nil {
+	if _, err := c.m.WritePOSIX(p, c.pr, c.wfd, hdr); err != nil {
 		c.writeErrs++
 		return err
 	}
@@ -351,14 +371,24 @@ func (c *Conn) readAtomicRecord(p *sim.Proc) (Record, error) {
 		a.Release()
 		return Record{}, ErrProtocol
 	}
-	var hb [HeaderLen]byte
-	a.ReadAt(hb[:], 0)
-	h, err := parseHeader(hb[:])
+	var hb [HeaderLen + TraceLen]byte
+	a.ReadAt(hb[:HeaderLen], 0)
+	h, err := parseHeader(hb[:HeaderLen])
 	if err != nil {
 		a.Release()
 		return Record{}, err
 	}
-	a.DropFront(HeaderLen)
+	hlen := HeaderLen
+	if h.traced() {
+		if a.Len() < HeaderLen+TraceLen {
+			a.Release()
+			return Record{}, ErrProtocol
+		}
+		a.ReadAt(hb[HeaderLen:], HeaderLen)
+		h.parseTrace(hb[HeaderLen:])
+		hlen += TraceLen
+	}
+	a.DropFront(hlen)
 	want := int(h.Length)
 	if h.Type == RecEnd {
 		want = 0
@@ -383,11 +413,20 @@ func (c *Conn) readStreamRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (R
 	if err := fill(p, HeaderLen); err != nil {
 		return Record{}, err
 	}
-	var hb [HeaderLen]byte
-	c.rAgg.ReadAt(hb[:], 0)
-	h, err := parseHeader(hb[:])
+	var hb [HeaderLen + TraceLen]byte
+	c.rAgg.ReadAt(hb[:HeaderLen], 0)
+	h, err := parseHeader(hb[:HeaderLen])
 	if err != nil {
 		return Record{}, err
+	}
+	hlen := HeaderLen
+	if h.traced() {
+		if err := fill(p, HeaderLen+TraceLen); err != nil {
+			return Record{}, err
+		}
+		c.rAgg.ReadAt(hb[HeaderLen:], HeaderLen)
+		h.parseTrace(hb[HeaderLen:])
+		hlen += TraceLen
 	}
 	want := int(h.Length)
 	if h.Type == RecEnd {
@@ -396,10 +435,10 @@ func (c *Conn) readStreamRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (R
 	// The header stays buffered until the whole record has arrived, so a
 	// peer that dies between a record's header and its payload reports
 	// io.ErrUnexpectedEOF (a torn record), never a clean end of stream.
-	if err := fill(p, HeaderLen+want); err != nil {
+	if err := fill(p, hlen+want); err != nil {
 		return Record{}, err
 	}
-	c.rAgg.DropFront(HeaderLen)
+	c.rAgg.DropFront(hlen)
 	c.recsIn++
 	if want == 0 {
 		return Record{Header: h}, nil
@@ -439,18 +478,26 @@ func (c *Conn) readCopyRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (Rec
 	if err != nil {
 		return Record{}, err
 	}
+	hlen := HeaderLen
+	if h.traced() {
+		if err := fill(p, HeaderLen+TraceLen); err != nil {
+			return Record{}, err
+		}
+		h.parseTrace(c.rbuf[HeaderLen:])
+		hlen += TraceLen
+	}
 	want := int(h.Length)
 	if h.Type == RecEnd {
 		want = 0
 	}
-	if err := fill(p, HeaderLen+want); err != nil {
+	if err := fill(p, hlen+want); err != nil {
 		return Record{}, err
 	}
 	var pay []byte
 	if want > 0 {
-		pay = append([]byte(nil), c.rbuf[HeaderLen:HeaderLen+want]...)
+		pay = append([]byte(nil), c.rbuf[hlen:hlen+want]...)
 	}
-	c.rbuf = c.rbuf[:copy(c.rbuf, c.rbuf[HeaderLen+want:])]
+	c.rbuf = c.rbuf[:copy(c.rbuf, c.rbuf[hlen+want:])]
 	c.recsIn++
 	return Record{Header: h, Bytes: pay}, nil
 }

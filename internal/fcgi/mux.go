@@ -6,6 +6,7 @@ import (
 
 	"iolite/internal/core"
 	"iolite/internal/kernel"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -28,6 +29,11 @@ type Request struct {
 	// eventually arrives, so a late response cannot be misdelivered to a
 	// recycled id). 0 means no deadline.
 	Deadline sim.Duration
+	// Span, when set, is the request's observability span: the mux enters
+	// its dispatch/service phases, stamps the span's trace id onto the
+	// BEGIN record so it crosses to the worker machine, and carves the
+	// channel's loss-recovery stall out of the service wait.
+	Span *obs.Span
 }
 
 // Response is one completed request: the STDOUT payload — Body (by
@@ -217,6 +223,11 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	cur = st
 	mx.inflight++
 
+	var stallBase sim.Duration
+	if req.Span != nil {
+		stallBase = mx.c.StallTime()
+		req.Span.Enter(p.Now(), obs.PhaseDispatch)
+	}
 	flags := uint8(0)
 	noStdin := req.Stdin == nil && req.StdinAgg == nil
 	if noStdin {
@@ -230,7 +241,7 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 	// streams are complete, so a partially delivered request is inert.
 	// Report it as not-sent — WriteRecord leaves ownership of the stdin
 	// aggregate with the caller on error, matching ErrNotSent's contract.
-	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecBegin, Flags: flags, ReqID: id}}); err != nil {
+	if err := mx.c.WriteRecord(p, Record{Header: Header{Type: RecBegin, Flags: flags, ReqID: id, Trace: req.Span.ID()}}); err != nil {
 		mx.failures++
 		mx.retireID(id, st)
 		return nil, notSent(err)
@@ -248,6 +259,9 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 			return nil, notSent(err)
 		}
 		req.StdinAgg = nil // ownership passed to WriteRecord
+	}
+	if req.Span != nil {
+		req.Span.Enter(p.Now(), obs.PhaseService)
 	}
 
 	resp := &Response{}
@@ -293,6 +307,9 @@ func (mx *Mux) Do(p *sim.Proc, req Request) (*Response, error) {
 			resp.Status = rec.Length
 			resp.Body = body
 			mx.retireID(id, st)
+			if req.Span != nil {
+				req.Span.Stall(mx.c.StallTime() - stallBase)
+			}
 			return resp, nil
 		default:
 			rec.Release() // stray record type: drop

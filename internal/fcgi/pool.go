@@ -6,6 +6,7 @@ import (
 
 	"iolite/internal/core"
 	"iolite/internal/kernel"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -69,6 +70,11 @@ type PoolConfig struct {
 	TypicalResponse int
 	// Name prefixes worker process names (default "fcgi").
 	Name string
+	// Obs, when set, lands each traced request's worker-side service
+	// interval in the client's span (resolved by the trace id the BEGIN
+	// record carried over) and binds the handler proc so its charges bin
+	// to the worker phase.
+	Obs *obs.Collector
 	// Handler serves each request; it receives the owning Worker so
 	// per-worker state (document caches in the worker's own pool) is a
 	// field access away.
@@ -212,6 +218,21 @@ func (wp *WorkerPool) spawn(idx, gen int) *Worker {
 		mux:  NewMux(ch.ServerConn, wp.cfg.Depth),
 	}
 	handler := wp.cfg.Handler
+	if col := wp.cfg.Obs; col != nil {
+		inner := handler
+		handler = func(hp *sim.Proc, hw *Worker, req *ServerRequest) {
+			sp := col.Lookup(req.TraceID)
+			if sp == nil {
+				inner(hp, hw, req)
+				return
+			}
+			start := hp.Now()
+			hp.SetAttrib(obs.Bound{Span: sp, Ph: obs.PhaseWorker})
+			inner(hp, hw, req)
+			hp.SetAttrib(nil)
+			sp.AddRemote(hw.M.Host.Name, start, hp.Now())
+		}
+	}
 	worker := w
 	ch.WorkerM.Eng.Go(name, func(p *sim.Proc) {
 		Serve(p, worker.conn, func(hp *sim.Proc, req *ServerRequest) {
@@ -398,6 +419,16 @@ func (wp *WorkerPool) Stats() (requests, failures, writeErrs int64) {
 
 // Reroutes reports requests re-routed to another worker after their
 // first-choice worker died pre-dispatch.
+// InFlight reports requests currently dispatched across the pool's
+// workers — the queue-depth signal obs samplers watch.
+func (wp *WorkerPool) InFlight() int {
+	n := 0
+	for _, w := range wp.workers {
+		n += w.inflight
+	}
+	return n
+}
+
 func (wp *WorkerPool) Reroutes() int64 { return wp.reroutes }
 
 // Respawns reports workers replaced by supervision.

@@ -77,10 +77,19 @@ const (
 	// another worker after a worker death or deadline expiry. Requests
 	// without the bit fail instead (see ErrWorkerDied).
 	FlagIdempotent uint8 = 1 << 2
+	// FlagTraced marks a record whose header is followed by TraceLen
+	// bytes of trace id — how a request's observability span propagates
+	// across machines. Untraced records are wire-identical to before the
+	// extension existed, so tracing costs nothing when off.
+	FlagTraced uint8 = 1 << 3
 )
 
-// HeaderLen is the fixed record header size on the wire.
-const HeaderLen = 8
+// HeaderLen is the fixed record header size on the wire. A traced
+// record (FlagTraced) carries TraceLen extra id bytes after it.
+const (
+	HeaderLen = 8
+	TraceLen  = 4
+)
 
 // Header is the fixed-size record header: type, flags, the request id the
 // record belongs to, and the payload length.
@@ -92,15 +101,40 @@ type Header struct {
 	// Length is the payload byte count. END records carry no payload and
 	// reuse the field as the application status (FastCGI's appStatus).
 	Length uint32
+	// Trace, when non-zero, is the request's cross-machine trace id; it
+	// rides as a TraceLen extension after the fixed header (FlagTraced).
+	Trace uint32
 }
 
-func (h Header) encode(dst []byte) {
+// wireLen is the header's on-the-wire size including the trace
+// extension.
+func (h Header) wireLen() int {
+	if h.Trace != 0 {
+		return HeaderLen + TraceLen
+	}
+	return HeaderLen
+}
+
+// encode writes the header (and trace extension when present) into dst,
+// returning the bytes written. dst must have room for wireLen bytes.
+func (h Header) encode(dst []byte) int {
+	flags := h.Flags
+	if h.Trace != 0 {
+		flags |= FlagTraced
+	}
 	dst[0] = byte(h.Type)
-	dst[1] = h.Flags
+	dst[1] = flags
 	binary.BigEndian.PutUint16(dst[2:], h.ReqID)
 	binary.BigEndian.PutUint32(dst[4:], h.Length)
+	if h.Trace != 0 {
+		binary.BigEndian.PutUint32(dst[HeaderLen:], h.Trace)
+		return HeaderLen + TraceLen
+	}
+	return HeaderLen
 }
 
+// parseHeader decodes the fixed header. When FlagTraced is set the
+// caller must fetch TraceLen more bytes and feed them to parseTrace.
 func parseHeader(b []byte) (Header, error) {
 	h := Header{
 		Type:   RecType(b[0]),
@@ -112,6 +146,15 @@ func parseHeader(b []byte) (Header, error) {
 		return h, ErrProtocol
 	}
 	return h, nil
+}
+
+// traced reports whether the header announces a trace extension.
+func (h Header) traced() bool { return h.Flags&FlagTraced != 0 }
+
+// parseTrace decodes the TraceLen-byte trace extension into h.
+func (h *Header) parseTrace(b []byte) {
+	h.Trace = binary.BigEndian.Uint32(b)
+	h.Flags &^= FlagTraced
 }
 
 // Framing errors.

@@ -30,7 +30,7 @@ import (
 // ringWrite is one queued outbound record awaiting the flusher.
 type ringWrite struct {
 	agg *core.Agg // ref-mode framed record; ownership passes to the ring
-	hdr []byte    // serialized modes: the 8 header bytes
+	hdr []byte    // serialized modes: the framed header bytes
 	pay []byte    // serialized modes: payload bytes (nil for END)
 
 	done bool
@@ -76,12 +76,12 @@ func (c *Conn) ringWriteRecord(p *sim.Proc, rec Record, n int) error {
 		c.writeErrs++
 		return kernel.ErrClosed
 	}
-	var hdr [HeaderLen]byte
-	rec.Header.encode(hdr[:])
+	var hbuf [HeaderLen + TraceLen]byte
+	hdr := hbuf[:rec.Header.encode(hbuf[:])]
 
 	w := &ringWrite{}
 	if c.wmode.refWrite() {
-		out := c.packHeader(p, hdr[:])
+		out := c.packHeader(p, hdr)
 		if rec.Agg != nil {
 			out.Concat(rec.Agg)
 		} else if len(rec.Bytes) > 0 {
@@ -91,7 +91,7 @@ func (c *Conn) ringWriteRecord(p *sim.Proc, rec Record, n int) error {
 		}
 		w.agg = out
 	} else {
-		w.hdr = append([]byte(nil), hdr[:]...)
+		w.hdr = append([]byte(nil), hdr...)
 		if n > 0 {
 			pay := rec.Bytes
 			if rec.Agg != nil {

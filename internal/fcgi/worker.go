@@ -32,6 +32,10 @@ type ServerRequest struct {
 	// Idempotent mirrors FlagIdempotent from the BEGIN record: the client
 	// declared this request safe to execute more than once.
 	Idempotent bool
+	// TraceID is the client request's trace id, carried across machines
+	// by the BEGIN record's trace extension (0 when untraced). The pool
+	// uses it to land the worker's service time in the client's span.
+	TraceID uint32
 }
 
 // WriteStdout sends one STDOUT record carrying the aggregate by
@@ -94,6 +98,7 @@ type Handler func(p *sim.Proc, req *ServerRequest)
 // pendingReq assembles one request's inbound streams before dispatch.
 type pendingReq struct {
 	flags     uint8
+	trace     uint32
 	params    []byte
 	stdin     []byte
 	stdinAgg  *core.Agg
@@ -128,7 +133,7 @@ func Serve(p *sim.Proc, c *Conn, handler Handler) {
 				// request's references before starting over.
 				pd.stdinAgg.Release()
 			}
-			reqs[rec.ReqID] = &pendingReq{flags: rec.Flags}
+			reqs[rec.ReqID] = &pendingReq{flags: rec.Flags, trace: rec.Trace}
 			rec.Release()
 		case RecParams:
 			if pd == nil {
@@ -174,6 +179,7 @@ func dispatch(c *Conn, id uint16, pd *pendingReq, handler Handler) {
 	req := &ServerRequest{
 		c: c, ID: id, Params: pd.params, Stdin: pd.stdin, StdinAgg: pd.stdinAgg,
 		Idempotent: pd.flags&FlagIdempotent != 0,
+		TraceID:    pd.trace,
 	}
 	c.m.Eng.Go(fmt.Sprintf("fcgi.c%d.req%d", c.id, id), func(hp *sim.Proc) {
 		handler(hp, req)

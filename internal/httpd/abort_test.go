@@ -49,11 +49,12 @@ func TestAbortedResponseCounted(t *testing.T) {
 				d, _ := b.srv.proc.Desc(cfd)
 				ep, _ := kernel.EndpointOf(d)
 				ep.Close(p) // the client is gone: further sends are EPIPE
-				b.srv.handleConn(p, cfd)
+				b.srv.handleConn(p, cfd, p.Now())
 			})
 			b.eng.Run()
 
-			reqs, body, total, aborted := b.srv.Stats()
+			st := b.srv.Stats()
+			reqs, body, total, aborted := st.Requests, st.BodyBytes, st.TotalBytes, st.Aborted
 			if reqs != 1 || aborted != 1 {
 				t.Fatalf("requests=%d aborted=%d, want 1/1", reqs, aborted)
 			}
@@ -97,7 +98,8 @@ func TestSpliceServerFallsBackForConventionalClient(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("fallback served wrong bytes (%d vs %d)", len(got), len(want))
 	}
-	reqs, body, _, aborted := b.srv.Stats()
+	ss := b.srv.Stats()
+	reqs, body, aborted := ss.Requests, ss.BodyBytes, ss.Aborted
 	if reqs != 1 || aborted != 0 || body != f.Size() {
 		t.Fatalf("stats after fallback: reqs=%d body=%d aborted=%d", reqs, body, aborted)
 	}

@@ -10,6 +10,7 @@ import (
 	"iolite/internal/core"
 	"iolite/internal/fcgi"
 	"iolite/internal/kernel"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -65,6 +66,7 @@ func newCGIPool(s *Server, workers, depth int) *cgiPool {
 		Respawn:   true,
 		Replay:    s.cfg.CGIReplay,
 		Name:      "cgi",
+		Obs:       s.cfg.Obs,
 		Handler:   cp.handle,
 		OnRetire: func(w *fcgi.Worker) {
 			cp.docsAgg.Drop(w)
@@ -125,15 +127,19 @@ func cgiDoc(n int64) []byte {
 // reports false when the response could not be fully delivered — a
 // worker-side failure (the mux surfaces broken pipes as errors) or a
 // client write error.
-func (s *Server) serveCGI(p *sim.Proc, cfd int, path string) bool {
+func (s *Server) serveCGI(p *sim.Proc, cfd int, path string, sp *obs.Span) bool {
 	// CGI document requests are pure GETs — idempotent by construction —
 	// so the BEGIN record always carries the flag; whether a lost request
-	// actually replays is the pool's policy (Config.CGIReplay).
+	// actually replays is the pool's policy (Config.CGIReplay). The span
+	// rides along: the mux marks the dispatch and service phases and the
+	// BEGIN record carries the trace id to the worker.
 	resp, err := s.cgi.pool.Do(p, fcgi.Request{
 		Params:     []byte(path),
 		Idempotent: true,
 		Deadline:   s.cfg.CGIDeadline,
+		Span:       sp,
 	})
+	sp.Enter(p.Now(), obs.PhaseSend)
 	if err != nil {
 		if errors.Is(err, kernel.ErrTimedOut) {
 			// Shed, don't hang: the deadline passed before a worker

@@ -40,7 +40,8 @@ func TestCGIWorkerPipeErrorCountsAborted(t *testing.T) {
 			})
 			b.eng.Run()
 
-			reqs, body, total, aborted := b.srv.Stats()
+			ss := b.srv.Stats()
+			reqs, body, total, aborted := ss.Requests, ss.BodyBytes, ss.TotalBytes, ss.Aborted
 			if reqs != 1 || aborted != 1 {
 				t.Fatalf("requests=%d aborted=%d, want 1/1", reqs, aborted)
 			}

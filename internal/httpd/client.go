@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 )
 
@@ -24,6 +25,12 @@ type ClientConfig struct {
 	// OnResponse, when set, receives each materialized response body for
 	// verification (tests); nil skips materialization for speed.
 	OnResponse func(path string, body []byte)
+	// Lat, when set, observes each successful request's client-side
+	// latency (request sent → response complete, in nanoseconds). LatFrom
+	// gates the observations: requests issued before it — the warmup
+	// window — are not recorded.
+	Lat     *obs.Histogram
+	LatFrom sim.Time
 }
 
 // ClientStats accumulates one client's results.
@@ -53,6 +60,7 @@ func RunClient(p *sim.Proc, cfg ClientConfig, next func() (path string, ok bool)
 			})
 		}
 		ep := conn.ClientEnd()
+		start := p.Now()
 		ep.Send(p, netsim.Payload{Data: FormatRequest(path, cfg.Persistent)}, nil)
 
 		body, good := readResponse(p, ep, cfg.OnResponse != nil)
@@ -61,6 +69,9 @@ func RunClient(p *sim.Proc, cfg ClientConfig, next func() (path string, ok bool)
 			ep.Close(p)
 			conn = nil
 			continue
+		}
+		if cfg.Lat != nil && start >= cfg.LatFrom {
+			cfg.Lat.Observe(int64(p.Now().Sub(start)))
 		}
 		stats.Requests++
 		stats.BodyBytes += body.bodyLen

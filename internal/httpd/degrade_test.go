@@ -56,7 +56,8 @@ func TestCGIDeadlineSheds(t *testing.T) {
 	if st.Errors != 1 {
 		t.Errorf("client errors=%d, want 1 (the shed request aborts the connection)", st.Errors)
 	}
-	reqs, body, total, aborted := b.srv.Stats()
+	ss := b.srv.Stats()
+	reqs, body, total, aborted := ss.Requests, ss.BodyBytes, ss.TotalBytes, ss.Aborted
 	if reqs != 1 || aborted != 1 {
 		t.Errorf("requests=%d aborted=%d, want 1/1", reqs, aborted)
 	}
@@ -111,7 +112,7 @@ func TestCGIReplaySurvivesWorkerKill(t *testing.T) {
 	if b.srv.cgi.pool.Replays() == 0 {
 		t.Error("no replays recorded despite the mid-flight worker kill")
 	}
-	_, _, _, aborted := b.srv.Stats()
+	aborted := b.srv.Stats().Aborted
 	if aborted != 0 || b.srv.Shed() != 0 {
 		t.Errorf("aborted=%d shed=%d, want 0/0", aborted, b.srv.Shed())
 	}

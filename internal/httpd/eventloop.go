@@ -6,6 +6,7 @@ import (
 	"iolite/internal/cache"
 	"iolite/internal/core"
 	"iolite/internal/kernel"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 	"iolite/internal/uring"
 )
@@ -61,6 +62,11 @@ type connState struct {
 	// connection turns out not to support splice.
 	fbFD   int
 	fbSize int64
+
+	// span is the in-flight request's trace span, opened when the first
+	// bytes of a new request arrive and closed (or abandoned) by
+	// finishConn/closeConn. Nil while idle and when tracing is off.
+	span *obs.Span
 }
 
 // eventLoop is the Flash-family server core.
@@ -139,6 +145,15 @@ func (s *Server) acceptReady(p *sim.Proc) {
 // park — the poller said so and nobody else reads this fd), then as much
 // request processing as the bytes allow.
 func (s *Server) connReadable(p *sim.Proc, c *connState) {
+	if s.cfg.Obs != nil && c.span == nil {
+		// First bytes of a new request: open its span. The loop proc
+		// wears the span's binding for this connection's slice of the
+		// pass, so the read and parse charges bin into the parse phase.
+		c.span = s.cfg.Obs.Start(s.cfg.Kind.String(), p.Now())
+		c.span.Enter(p.Now(), obs.PhaseParse)
+	}
+	p.SetAttrib(c.span)
+	defer p.SetAttrib(nil)
 	if s.cfg.Kind.Lite() {
 		a, err := s.m.IOLRead(p, s.proc, c.fd, recvChunk)
 		if err != nil {
@@ -181,9 +196,13 @@ func (s *Server) tryServe(p *sim.Proc, c *connState) {
 		// CGI rides a helper process: Do blocks on the worker round trip,
 		// which must not stall the loop. The helper writes the response
 		// directly (its writes may park harmlessly) and re-arms the
-		// connection when done.
+		// connection when done. The helper proc wears the span's binding
+		// so its charges bin into the span's open phase.
+		sp := c.span
 		s.m.Eng.Go("httpd.cgihelper", func(hp *sim.Proc) {
-			served := s.serveCGI(hp, c.fd, path)
+			hp.SetAttrib(sp)
+			served := s.serveCGI(hp, c.fd, path, sp)
+			hp.SetAttrib(nil)
 			s.finishConn(hp, c, served)
 		})
 		return
@@ -198,8 +217,11 @@ func (s *Server) tryServe(p *sim.Proc, c *connState) {
 	// (its disk reads and writes park harmlessly, concurrently with other
 	// helpers) and re-arms the connection when done; serveStatic applies
 	// the byte counters itself, so the connection's credits stay zero.
+	sp := c.span
 	s.m.Eng.Go("httpd.diskhelper", func(hp *sim.Proc) {
-		served := s.serveStatic(hp, c.fd, path)
+		hp.SetAttrib(sp)
+		served := s.serveStatic(hp, c.fd, path, sp)
+		hp.SetAttrib(nil)
 		s.finishConn(hp, c, served)
 	})
 }
@@ -224,7 +246,9 @@ func (s *Server) staticResident(path string) bool {
 // loop pass, or a completion handler re-serving a pipelined request)
 // flushes with Submit.
 func (s *Server) stageStatic(p *sim.Proc, c *connState, path string) {
+	c.span.Enter(p.Now(), obs.PhaseCacheLookup)
 	e, ok := s.openCached(p, path)
+	c.span.Enter(p.Now(), obs.PhaseSend)
 	if !ok {
 		s.stage(c, roleData, s.ring.PrepWritePOSIX(c.fd, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")))
 		return
@@ -318,6 +342,8 @@ func (s *Server) finishConn(p *sim.Proc, c *connState, served bool) {
 		s.closeConn(p, c)
 		return
 	}
+	c.span.Finish(p.Now())
+	c.span = nil
 	s.bytesBody += c.creditBody
 	s.bytesTotal += c.creditTotal
 	if !c.keepalive {
@@ -332,6 +358,8 @@ func (s *Server) finishConn(p *sim.Proc, c *connState, served bool) {
 
 // closeConn tears a connection out of the loop.
 func (s *Server) closeConn(p *sim.Proc, c *connState) {
+	c.span.Abandon() // a span still open here belongs to a dead request
+	c.span = nil
 	s.po.Del(c.fd)
 	delete(s.conns, c.fd)
 	s.m.Close(p, s.proc, c.fd)

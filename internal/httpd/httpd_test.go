@@ -260,12 +260,13 @@ func TestServerStatsAccumulate(t *testing.T) {
 		}, &st)
 	})
 	b.eng.Run()
-	reqs, body, total, _ := b.srv.Stats()
+	st := b.srv.Stats()
+	reqs, body, total := st.Requests, st.BodyBytes, st.TotalBytes
 	if reqs != 4 || body != 40000 || total <= body {
 		t.Fatalf("stats: reqs=%d body=%d total=%d", reqs, body, total)
 	}
 	b.srv.ResetStats()
-	reqs, _, _, _ = b.srv.Stats()
+	reqs = b.srv.Stats().Requests
 	if reqs != 0 {
 		t.Fatal("ResetStats did not clear")
 	}

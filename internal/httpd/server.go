@@ -9,6 +9,7 @@ import (
 	"iolite/internal/kernel"
 	"iolite/internal/mem"
 	"iolite/internal/netsim"
+	"iolite/internal/obs"
 	"iolite/internal/sim"
 	"iolite/internal/uring"
 )
@@ -99,6 +100,12 @@ type Config struct {
 	// idempotent (pure GETs), so replay is safe; off by default to keep
 	// the fail-fast baseline.
 	CGIReplay bool
+	// Obs, when set, opens a span per request: phase transitions mark
+	// accept/parse/cache-lookup/dispatch/send, metered charges bin into
+	// the open phase, and the span's trace id rides fcgi record headers to
+	// CGI workers. Nil keeps the server entirely uninstrumented — every
+	// span method on the resulting nil spans is a no-op.
+	Obs *obs.Collector
 }
 
 // openEntry is one slot of the server's open-FD cache: the descriptor the
@@ -184,16 +191,29 @@ func (s *Server) PrimeOpen(path string, f *fsim.File) {
 	s.openFDs[path] = openEntry{f: f, fd: fd}
 }
 
-// Stats reports requests served, body/total bytes sent, and responses
-// aborted by a write error: aborted responses count toward requests but
-// not toward the byte totals. The abort count covers both sides of the
-// data path: client write errors (client gone mid-response), and CGI
-// worker pipe write errors — the worker's EPIPE is counted on its fcgi
-// connection and surfaces through the mux as a failed request, so it
-// lands here instead of being silently dropped as the old ad-hoc worker
-// loop did.
-func (s *Server) Stats() (requests, bodyBytes, totalBytes, aborted int64) {
-	return s.requests, s.bytesBody, s.bytesTotal, s.aborted
+// ServerStats is the server's counter snapshot. Aborted responses count
+// toward Requests but not toward the byte totals; the abort count covers
+// both sides of the data path — client write errors (client gone
+// mid-response) and CGI worker pipe write errors, which surface through
+// the mux as failed requests instead of being silently dropped. Shed is
+// the subset of aborts caused by a passed CGI deadline.
+type ServerStats struct {
+	Requests   int64
+	BodyBytes  int64
+	TotalBytes int64
+	Aborted    int64
+	Shed       int64
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:   s.requests,
+		BodyBytes:  s.bytesBody,
+		TotalBytes: s.bytesTotal,
+		Aborted:    s.aborted,
+		Shed:       s.shed,
+	}
 }
 
 // Shed reports CGI requests abandoned because their deadline passed —
@@ -205,12 +225,20 @@ func (s *Server) ResetStats() {
 	s.requests, s.bytesBody, s.bytesTotal, s.aborted, s.shed = 0, 0, 0, 0, 0
 }
 
+// ResetMeters aliases ResetStats so a server drops into an obs.ResetSet
+// alongside cost models, hosts, and collectors.
+func (s *Server) ResetMeters() { s.ResetStats() }
+
 func (s *Server) acceptLoop(p *sim.Proc) {
 	for {
 		cfd, err := s.m.Accept(p, s.proc, s.lfd)
 		if err != nil {
 			return
 		}
+		// The accept timestamp precedes Apache's connection-slot wait, so
+		// the first request's accept phase measures the time a connection
+		// spent queued for a process slot.
+		acceptedAt := p.Now()
 		if s.cfg.Kind == Apache {
 			for s.slots == 0 {
 				s.slotWait.Wait(p)
@@ -219,7 +247,7 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 			s.m.VM.Reserve(mem.TagProc, mem.PagesFor(apacheConnMem))
 		}
 		s.m.Eng.Go("httpd.conn", func(hp *sim.Proc) {
-			s.handleConn(hp, cfd)
+			s.handleConn(hp, cfd, acceptedAt)
 			if s.cfg.Kind == Apache {
 				s.m.VM.Release(mem.TagProc, mem.PagesFor(apacheConnMem))
 				s.slots++
@@ -234,10 +262,28 @@ func (s *Server) acceptLoop(p *sim.Proc) {
 const recvChunk = 64 << 10
 
 // handleConn serves requests on connection descriptor cfd until close.
-func (s *Server) handleConn(p *sim.Proc, cfd int) {
+func (s *Server) handleConn(p *sim.Proc, cfd int, acceptedAt sim.Time) {
 	var pending []byte
 	var buf []byte // conventional receive buffer, reused across requests
+	first := true
 	for {
+		// Open the request's span. The first span on a connection starts
+		// at accept time, so its accept phase covers the slot wait and
+		// handler spawn; later spans start when the server turns to the
+		// next request. A nil collector makes sp nil and every span call
+		// below a no-op.
+		var sp *obs.Span
+		if s.cfg.Obs != nil {
+			start := p.Now()
+			if first {
+				start = acceptedAt
+			}
+			sp = s.cfg.Obs.Start(s.cfg.Kind.String(), start)
+			sp.Enter(p.Now(), obs.PhaseParse)
+			p.SetAttrib(sp)
+		}
+		first = false
+
 		// Accumulate a complete request.
 		var path string
 		var keepalive, ok bool
@@ -252,6 +298,7 @@ func (s *Server) handleConn(p *sim.Proc, cfd int) {
 				// buffers placed by early demultiplexing, no copy.
 				a, err := s.m.IOLRead(p, s.proc, cfd, recvChunk)
 				if err != nil {
+					sp.Abandon()
 					s.m.Close(p, s.proc, cfd)
 					return
 				}
@@ -263,6 +310,7 @@ func (s *Server) handleConn(p *sim.Proc, cfd int) {
 				}
 				n, err := s.m.ReadPOSIX(p, s.proc, cfd, buf)
 				if err != nil {
+					sp.Abandon()
 					s.m.Close(p, s.proc, cfd)
 					return
 				}
@@ -274,18 +322,22 @@ func (s *Server) handleConn(p *sim.Proc, cfd int) {
 
 		var served bool
 		if s.cfg.CGI {
-			served = s.serveCGI(p, cfd, path)
+			served = s.serveCGI(p, cfd, path, sp)
 		} else {
-			served = s.serveStatic(p, cfd, path)
+			served = s.serveStatic(p, cfd, path, sp)
 		}
 		s.requests++
+		p.SetAttrib(nil)
 		if !served {
 			// The response aborted on a write error: the connection is
-			// useless, drop it.
+			// useless, drop it. The span is abandoned, not finished — an
+			// aborted response has no meaningful end-to-end latency.
+			sp.Abandon()
 			s.aborted++
 			s.m.Close(p, s.proc, cfd)
 			return
 		}
+		sp.Finish(p.Now())
 
 		if !keepalive {
 			s.m.Close(p, s.proc, cfd)
@@ -331,8 +383,10 @@ func (s *Server) cork(p *sim.Proc, cfd int, on bool) {
 // Every multi-write path corks the socket for the duration of the
 // response: the response header and the document gather into exactly
 // ⌈(header+body)/MSS⌉ data segments instead of the header riding alone.
-func (s *Server) serveStatic(p *sim.Proc, cfd int, path string) bool {
+func (s *Server) serveStatic(p *sim.Proc, cfd int, path string, sp *obs.Span) bool {
+	sp.Enter(p.Now(), obs.PhaseCacheLookup)
 	e, ok := s.openCached(p, path)
+	sp.Enter(p.Now(), obs.PhaseSend)
 	if !ok {
 		_, err := s.m.WritePOSIX(p, s.proc, cfd, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"))
 		return err == nil

@@ -120,6 +120,21 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 // CPU returns the machine's CPU resource.
 func (m *Machine) CPU() *sim.Resource { return m.Host.CPU() }
 
+// ResetMeters zeroes every meter the machine carries — CPU and disk
+// utilization, file/mmap/checksum cache hit counters, and the host's
+// network stats — so one obs.ResetSet entry covers a whole machine at a
+// measurement boundary. Cache contents are untouched.
+func (m *Machine) ResetMeters() {
+	m.CPU().ResetStats()
+	m.Disk.ResetStats()
+	m.FileCache.ResetStats()
+	m.Mmaps.ResetStats()
+	if m.CkCache != nil {
+		m.CkCache.ResetStats()
+	}
+	m.Host.ResetNetStats()
+}
+
 // syscall charges one system-call entry/exit and counts it on the cost
 // model's syscall meter. A nil p (setup or prewarm context, outside
 // measurement) charges nothing.

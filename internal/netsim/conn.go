@@ -81,11 +81,15 @@ func (c *Conn) ClientEnd() *Endpoint { return c.client }
 func (c *Conn) ServerEnd() *Endpoint { return c.server }
 
 // sendItem is admitted payload awaiting segmentation. done fires when the
-// segment carrying the item's last byte is acknowledged.
+// segment carrying the item's last byte is acknowledged. bind is the
+// sender's attribution binding (captured only while a charge hook is
+// installed) so the pump can bin the item's wire and checksum work to
+// the request that queued it.
 type sendItem struct {
 	pl   Payload
 	off  int
 	done func()
+	bind interface{}
 }
 
 // segPiece is one gathered piece of an outgoing segment. A corked segment
@@ -167,6 +171,14 @@ type Endpoint struct {
 	srtt, rttvar   sim.Duration
 	rtoTimer       *sim.Timer
 	dupAcks        int
+	// Stall accounting: a loss-recovery episode opens at the first
+	// retransmission (timeout or fast retransmit) and closes when a
+	// cumulative ack makes forward progress. stallAccum totals closed
+	// episodes; observability carves this time out of request phases as
+	// retransmit stall.
+	stallAccum sim.Duration
+	stallStart sim.Time
+	inStall    bool
 	// recoverUntil is the recovery point: every retransmission records
 	// sndNxt here, and duplicate acks cannot trigger another fast
 	// retransmit until the cumulative ack passes it. One loss event costs
@@ -279,7 +291,11 @@ func (e *Endpoint) Send(p *sim.Proc, pl Payload, done func()) {
 		if !e.refMode {
 			e.reserveSock()
 		}
-		e.sndQ = append(e.sndQ, &sendItem{pl: piece, done: cb})
+		item := &sendItem{pl: piece, done: cb}
+		if e.host.costs.OnCharge != nil {
+			item.bind = p.Attrib()
+		}
+		e.sndQ = append(e.sndQ, item)
 		e.wakePump()
 		off += take
 	}
@@ -377,6 +393,15 @@ func (e *Endpoint) holdTail() bool {
 func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 	var pieces []segPiece
 	rec := &ackRecord{seq: e.sndNxt}
+	// Attribute the segment's wire and checksum work to the request that
+	// queued its head item: the pump proc temporarily wears the sender's
+	// binding so the charge hook resolves it. Free when no hook is set.
+	var bind interface{}
+	if costs.OnCharge != nil && len(e.sndQ) > 0 {
+		bind = e.sndQ[0].bind
+		p.SetAttrib(bind)
+		defer p.SetAttrib(nil)
+	}
 	cpu := costs.MbufAlloc + costs.Packet
 	for rec.n < MSS && len(e.sndQ) > 0 {
 		item := e.sndQ[0]
@@ -425,6 +450,7 @@ func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 	rec.sent = e.host.eng.Now()
 	e.sndNxt += int64(rec.n)
 	e.ackFIFO = append(e.ackFIFO, rec)
+	costs.EmitWire(int64(rec.n), bind)
 	e.transmitData(p, rec)
 	e.armRTO()
 
@@ -501,6 +527,10 @@ func (e *Endpoint) onRTO() {
 // cold/warm split. No new agg references are taken — the ack record's are
 // re-used.
 func (e *Endpoint) retransmit() {
+	if !e.inStall {
+		e.inStall = true
+		e.stallStart = e.host.eng.Now()
+	}
 	costs := e.host.costs
 	link := e.link
 	for _, rec := range e.ackFIFO {
@@ -640,6 +670,10 @@ func (e *Endpoint) acked(ackNo int64) {
 		return
 	}
 	e.dupAcks = 0
+	if e.inStall {
+		e.stallAccum += e.host.eng.Now().Sub(e.stallStart)
+		e.inStall = false
+	}
 	var freed int
 	for len(e.ackFIFO) > 0 && e.ackFIFO[0].end() <= ackNo {
 		rec := e.ackFIFO[0]
@@ -786,6 +820,23 @@ func (e *Endpoint) SetRecvNotify(fn func()) { e.rcvNotify = fn }
 
 // SetSendNotify registers fn to fire whenever transmit-window space frees.
 func (e *Endpoint) SetSendNotify(fn func()) { e.sndNotify = fn }
+
+// StallTime reports total loss-recovery stall on this endpoint's send
+// direction: time between a first retransmission and the ack that made
+// forward progress again, including a still-open episode. Observability
+// samples this before and after a blocking wait to carve the delta out
+// of the waiting request's phase.
+func (e *Endpoint) StallTime() sim.Duration {
+	d := e.stallAccum
+	if e.inStall {
+		d += e.host.eng.Now().Sub(e.stallStart)
+	}
+	return d
+}
+
+// PeerStallTime reports the peer sender's stall — the recovery time that
+// delays this endpoint's reads.
+func (e *Endpoint) PeerStallTime() sim.Duration { return e.peer.StallTime() }
 
 // Drain blocks p until every admitted byte has been acknowledged. A drain
 // is a push point: a sub-MSS tail held by an explicit cork is flushed

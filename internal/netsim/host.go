@@ -112,6 +112,9 @@ func (h *Host) ResetNetStats() {
 	h.retransSegs, h.retransBytes, h.corruptIn = 0, 0, 0
 }
 
+// ResetMeters implements the obs.Resetter seam (alias for ResetNetStats).
+func (h *Host) ResetMeters() { h.ResetNetStats() }
+
 // RetransStats reports data segments this host retransmitted and the
 // payload bytes they re-carried — the recovery-overhead meter. Retransmitted
 // segments also count in pktsOut/bytesOut: they really occupy the wire.

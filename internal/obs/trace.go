@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the collector's finished spans become
+// complete ("X") events — one per span plus one per phase segment and
+// remote mark — and sampler series become counter ("C") tracks, so any
+// figure run opens directly in chrome://tracing or Perfetto.
+//
+// Layout: pid 1 holds request tracks, one tid per server kind (every
+// span of a kind shares a track; phases nest under the request event
+// because they are strictly contained in it). pid 2 holds the counter
+// tracks. Timestamps are microseconds of virtual time.
+
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Cat  string                 `json:"cat,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+const (
+	tracePidRequests = 1
+	tracePidCounters = 2
+)
+
+// usOf converts virtual nanoseconds to trace microseconds.
+func usOf(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteTrace emits the collector's finished spans and sampler series as
+// Chrome trace-event JSON.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	var tf traceFile
+	if c == nil {
+		return json.NewEncoder(w).Encode(&tf)
+	}
+
+	// One tid per server kind, in sorted order for stable output.
+	kindTid := map[string]int{}
+	var kinds []string
+	for _, s := range c.done {
+		if _, ok := kindTid[s.kind]; !ok {
+			kindTid[s.kind] = 0
+			kinds = append(kinds, s.kind)
+		}
+	}
+	sort.Strings(kinds)
+	for i, k := range kinds {
+		kindTid[k] = i + 1
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePidRequests, Tid: i + 1,
+			Args: map[string]interface{}{"name": k},
+		})
+	}
+
+	for _, s := range c.done {
+		tid := kindTid[s.kind]
+		args := map[string]interface{}{"trace_id": s.id}
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			if d := s.durs[ph]; d > 0 {
+				args[ph.String()+"_us"] = usOf(int64(d))
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "request", Ph: "X", Cat: s.kind,
+			Ts: usOf(int64(s.start)), Dur: usOf(int64(s.end.Sub(s.start))),
+			Pid: tracePidRequests, Tid: tid, Args: args,
+		})
+		for _, seg := range s.segs {
+			if seg.to <= seg.from {
+				continue
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: seg.ph.String(), Ph: "X", Cat: "phase",
+				Ts: usOf(int64(seg.from)), Dur: usOf(int64(seg.to.Sub(seg.from))),
+				Pid: tracePidRequests, Tid: tid,
+			})
+		}
+		for _, rm := range s.remotes {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "worker@" + rm.Host, Ph: "X", Cat: "remote",
+				Ts: usOf(int64(rm.Start)), Dur: usOf(int64(rm.End.Sub(rm.Start))),
+				Pid: tracePidRequests, Tid: tid,
+				Args: map[string]interface{}{"trace_id": s.id},
+			})
+		}
+	}
+
+	for i, ser := range c.series {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePidCounters, Tid: i + 1,
+			Args: map[string]interface{}{"name": ser.name},
+		})
+		for _, pt := range ser.pts {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: ser.name, Ph: "C", Ts: usOf(int64(pt.at)),
+				Pid: tracePidCounters, Tid: i + 1,
+				Args: map[string]interface{}{"value": pt.v},
+			})
+		}
+	}
+
+	sort.SliceStable(tf.TraceEvents, func(i, j int) bool {
+		return tf.TraceEvents[i].Ts < tf.TraceEvents[j].Ts
+	})
+	return json.NewEncoder(w).Encode(&tf)
+}

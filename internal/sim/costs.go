@@ -2,6 +2,38 @@ package sim
 
 import "time"
 
+// ChargeKind classifies a metered charge for attribution (see OnCharge).
+type ChargeKind uint8
+
+const (
+	// ChargeCopy is memory-to-memory copy work, in bytes.
+	ChargeCopy ChargeKind = iota
+	// ChargeCksum is checksum-pass work, in bytes.
+	ChargeCksum
+	// ChargeSyscall is one kernel crossing (n is always 1).
+	ChargeSyscall
+	// ChargeWire is per-segment protocol work in the netsim pump, in
+	// payload bytes.
+	ChargeWire
+	// NumChargeKinds sizes per-kind accumulator arrays.
+	NumChargeKinds
+)
+
+// String names the charge kind for reports.
+func (k ChargeKind) String() string {
+	switch k {
+	case ChargeCopy:
+		return "copy"
+	case ChargeCksum:
+		return "cksum"
+	case ChargeSyscall:
+		return "syscall"
+	case ChargeWire:
+		return "wire"
+	}
+	return "?"
+}
+
 // CostModel collects every charged cost in the simulated machine. The
 // defaults approximate the paper's testbed: a 333 MHz Pentium II with 128 MB
 // of memory and 5 switched 100 Mb/s Fast Ethernet adaptors (§5).
@@ -90,6 +122,15 @@ type CostModel struct {
 	// DiskPSPerByte the media transfer cost per byte.
 	DiskSeek      time.Duration
 	DiskPSPerByte int64
+
+	// OnCharge, when non-nil, observes every metered charge as it is
+	// priced: copy and checksum bytes, kernel crossings, and (via
+	// EmitWire) per-segment wire work. bind carries an explicit
+	// attribution context when the charging site knows one (the netsim
+	// pump working on behalf of a sender); nil means "resolve from the
+	// running process". The single nil check below is the whole cost
+	// when observability is off.
+	OnCharge func(kind ChargeKind, n int64, bind interface{})
 }
 
 // DefaultCosts returns the calibrated cost model. Calibration anchors:
@@ -143,6 +184,9 @@ func DefaultCosts() *CostModel {
 // must use PriceCopy instead, which leaves the meter alone.
 func (c *CostModel) Copy(n int) time.Duration {
 	c.meterCopied += int64(n)
+	if c.OnCharge != nil {
+		c.OnCharge(ChargeCopy, int64(n), nil)
+	}
 	return c.PriceCopy(n)
 }
 
@@ -155,6 +199,9 @@ func (c *CostModel) PriceCopy(n int) time.Duration {
 // checksum work. Pure queries must use PriceCksum.
 func (c *CostModel) Cksum(n int) time.Duration {
 	c.meterCksum += int64(n)
+	if c.OnCharge != nil {
+		c.OnCharge(ChargeCksum, int64(n), nil)
+	}
 	return c.PriceCksum(n)
 }
 
@@ -168,7 +215,20 @@ func (c *CostModel) PriceCksum(n int) time.Duration {
 // the machine-wide syscall tally (pure price queries read Syscall directly).
 func (c *CostModel) MeterSyscall() time.Duration {
 	c.meterSyscalls++
+	if c.OnCharge != nil {
+		c.OnCharge(ChargeSyscall, 1, nil)
+	}
 	return c.Syscall
+}
+
+// EmitWire reports n bytes of per-segment wire work to the attribution
+// hook on behalf of bind (the sender whose payload fills the segment).
+// Wire work is not metered — packet counters live on netsim.Host — so
+// this only feeds OnCharge and is free when no hook is installed.
+func (c *CostModel) EmitWire(n int64, bind interface{}) {
+	if c.OnCharge != nil {
+		c.OnCharge(ChargeWire, n, bind)
+	}
 }
 
 // MeterSyscallCount reports the syscalls charged since the last ResetMeter.
@@ -184,6 +244,9 @@ func (c *CostModel) MeterCksumBytes() int64 { return c.meterCksum }
 
 // ResetMeter zeroes the charged-work meter.
 func (c *CostModel) ResetMeter() { c.meterCopied, c.meterCksum, c.meterSyscalls = 0, 0, 0 }
+
+// ResetMeters implements the obs.Resetter seam (alias for ResetMeter).
+func (c *CostModel) ResetMeters() { c.ResetMeter() }
 
 // Touch returns the default cost of application code examining n bytes.
 func (c *CostModel) Touch(n int) time.Duration {

@@ -71,6 +71,10 @@ type Engine struct {
 	// procs tracks live simulated processes for leak diagnostics.
 	procs map[*Proc]struct{}
 
+	// running is the proc currently dispatched (nil in engine context);
+	// attribution hooks use it to find whose work is being charged.
+	running *Proc
+
 	// wheel is the engine's shared timer wheel, created on first use (see
 	// Engine.Wheel in wheel.go).
 	wheel *Wheel
@@ -145,3 +149,7 @@ func (e *Engine) Pending() int { return len(e.events) }
 // not yet returned. Useful for detecting leaked (permanently blocked)
 // processes in tests.
 func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// Running returns the proc currently executing, or nil when the engine
+// itself (an event callback) is running.
+func (e *Engine) Running() *Proc { return e.running }

@@ -24,6 +24,11 @@ type Proc struct {
 	// parkSeq counts Park calls, letting Unpark detect stale wakeups.
 	parkSeq uint64
 	waiting bool
+
+	// attrib is an opaque attribution binding (the observability layer
+	// stores the active span here); it rides the proc so charge hooks can
+	// find whose request is paying for the work.
+	attrib interface{}
 }
 
 // Go starts fn as a simulated process at the current instant. fn runs on its
@@ -52,6 +57,12 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 // Name returns the diagnostic name given to Go.
 func (p *Proc) Name() string { return p.name }
 
+// SetAttrib binds an opaque attribution context to the proc (nil clears).
+func (p *Proc) SetAttrib(v interface{}) { p.attrib = v }
+
+// Attrib returns the proc's attribution binding, nil if none.
+func (p *Proc) Attrib() interface{} { return p.attrib }
+
 // Engine returns the engine this proc runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
@@ -64,8 +75,11 @@ func (p *Proc) dispatch() {
 	if p.dead {
 		return
 	}
+	prev := p.eng.running
+	p.eng.running = p
 	p.resume <- struct{}{}
 	<-p.parked
+	p.eng.running = prev
 }
 
 // yield parks the proc and returns control to the engine. The proc resumes

@@ -92,6 +92,10 @@ func (r *Resource) Uses() int64 { return r.uses }
 func (r *Resource) BusyTime() Duration { return r.busy }
 
 // ResetStats zeroes the utilization counters.
+// ResetMeters aliases ResetStats so a resource drops into an
+// obs.ResetSet alongside the other meters.
+func (r *Resource) ResetMeters() { r.ResetStats() }
+
 func (r *Resource) ResetStats() {
 	r.busy = 0
 	r.uses = 0
