@@ -35,29 +35,35 @@ func main() {
 	fmt.Println("(same pool, same workload — only the worker transport changes)")
 	fmt.Println()
 
-	run := func(placement experiments.FCGINetPlacement, ref, ring bool) {
+	run := func(placement experiments.FCGINetPlacement, ref, ring, offload bool) {
 		r := experiments.RunFCGINet(experiments.FCGINetParams{
 			Placement: placement,
 			Workers:   4,
 			Depth:     8,
 			Ref:       ref,
 			Ring:      ring,
+			Offload:   offload,
 			Warmup:    300 * time.Millisecond,
 			Measure:   2 * time.Second,
 		})
-		fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%, %4.1f pkts/req, fill %.2f, %4.1f sys/req)\n",
-			r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+		fmt.Printf("%-24s %6.1f kreq/s  copied %8.2f MB  (cpu %3.0f%%, worker machine %3.0f%%, %4.1f pkts/req, %4.1f acks/req, fill %.2f, %4.1f sys/req)\n",
+			r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil*100, r.WorkerCPUUtil*100, r.PktsPerReq, r.AcksPerReq, r.SegFill, r.SyscallsPerReq)
 	}
 	for _, placement := range experiments.Placements {
 		for _, ref := range []bool{false, true} {
-			run(placement, ref, false)
+			run(placement, ref, false, false)
 		}
 	}
 	// The submission-ring variant of the local socket: both ends of every
 	// worker channel batch record writes into one corked Submit and refill
 	// reads through coalesced ring ops — compare sys/req against the
 	// sock-local ref row above.
-	run(experiments.PlaceSockLocal, true, true)
+	run(experiments.PlaceSockLocal, true, true, false)
+	// The segment-offload variant: LSO super-segments, GRO receive
+	// coalescing, and delayed acks pay the protocol path per 64 KB
+	// gather instead of per MSS — compare pkts/req and acks/req against
+	// the sock-local ref row above.
+	run(experiments.PlaceSockLocal, true, false, true)
 
 	fmt.Println()
 	fmt.Println("pipes charge framing only in ref mode; loopback TCP adds the per-packet")
@@ -71,4 +77,9 @@ func main() {
 	fmt.Println("sys/req meters kernel crossings: the ring row batches a whole mux cycle's")
 	fmt.Println("record I/O into one Submit + one Reap, taking the syscall installment of")
 	fmt.Println("the LAN tax back out.")
+	fmt.Println()
+	fmt.Println("the offl row turns on segment offload: the send pump gathers up to 64 KB")
+	fmt.Println("into one charged super-segment, receives coalesce, and acks are delayed")
+	fmt.Println("(every 2nd event or 100 µs) or piggybacked — the per-segment installment")
+	fmt.Println("of the LAN tax itself, paid once per gather instead of once per MSS.")
 }

@@ -55,6 +55,10 @@ type ChaosParams struct {
 	Replay bool
 	// Seed drives the fault plan's deterministic PRNG (0 = default).
 	Seed uint64
+	// Offload enables LSO/GRO segment offload on the machine: faults are
+	// then judged per MSS chunk inside super-segments, and recovery must
+	// retransmit chunk-granular holes (kernel.Config.Offload).
+	Offload bool
 
 	Warmup  time.Duration
 	Measure time.Duration
@@ -138,7 +142,7 @@ func RunChaos(cp ChaosParams) ChaosResult {
 	// The checksum cache is load-bearing under faults: a retransmitted ref
 	// segment re-checksums with one lookup per piece instead of re-paying
 	// the full pass, so recovery overhead is wire bytes, not CPU.
-	m := kernel.NewMachine(eng, costs, kernel.Config{ChecksumCache: true})
+	m := kernel.NewMachine(eng, costs, kernel.Config{ChecksumCache: true, Offload: cp.Offload})
 	srv := m.NewProcess("chaos-srv", 2<<20)
 	tr := fcgi.NewLoopbackTransport(m, srv, true, 0)
 
@@ -294,6 +298,9 @@ func chaosLabel(cp ChaosParams) string {
 			l += "+replay"
 		}
 	}
+	if cp.Offload {
+		l += " offl"
+	}
 	return l
 }
 
@@ -371,10 +378,12 @@ var chaosFigConfigs = []struct {
 	name      string
 	killEvery time.Duration
 	replay    bool
+	offload   bool
 }{
-	{"no kills", 0, false},
-	{"kills", 20 * time.Millisecond, false},
-	{"kills+replay", 20 * time.Millisecond, true},
+	{"no kills", 0, false, false},
+	{"kills", 20 * time.Millisecond, false, false},
+	{"kills+replay", 20 * time.Millisecond, true, false},
+	{"kills+replay offl", 20 * time.Millisecond, true, true},
 }
 
 // FigChaos — goodput under injected failure: completed requests per second
@@ -406,6 +415,7 @@ func FigChaos(opt Options) *Table {
 				LossProb:  loss,
 				KillEvery: c.killEvery,
 				Replay:    c.replay,
+				Offload:   c.offload,
 				Warmup:    warm,
 				Measure:   meas,
 				Obs:       opt.Trace,

@@ -87,3 +87,49 @@ func TestStaleChaosLegDegrades(t *testing.T) {
 		t.Errorf("%d requests failed despite ServeStale: %+v", r.Aborted, r)
 	}
 }
+
+// TestChaosAcceptanceOffload reruns the chaos acceptance gate with segment
+// offload on: super-segments and delayed acks must not cost the tier its
+// recovery guarantees — 100% idempotent completion, zero leaked pages,
+// MSS-granular hole retransmits only (the copy pin proves recovery never
+// re-charges payload copies of whole super-segments), and goodput within
+// 70% of the fault-free offload run.
+func TestChaosAcceptanceOffload(t *testing.T) {
+	warm, meas := 100*time.Millisecond, 500*time.Millisecond
+	clean := RunChaos(ChaosParams{Offload: true, Warmup: warm, Measure: meas})
+	faulty := RunChaos(ChaosParams{
+		Offload:   true,
+		LossProb:  0.01,
+		KillEvery: 20 * time.Millisecond,
+		Replay:    true,
+		Warmup:    warm,
+		Measure:   meas,
+	})
+
+	if clean.Failed != 0 || clean.RetransSegs != 0 {
+		t.Fatalf("clean offload run not clean: failed=%d retrans=%d", clean.Failed, clean.RetransSegs)
+	}
+	if faulty.Failed != 0 {
+		t.Errorf("replay lost %d idempotent requests under offload, want 0 (replays=%d respawns=%d)",
+			faulty.Failed, faulty.Replays, faulty.Respawns)
+	}
+	if faulty.LeakPages != 0 || clean.LeakPages != 0 {
+		t.Errorf("leaked pages: clean=%d faulty=%d, want 0/0", clean.LeakPages, faulty.LeakPages)
+	}
+	if faulty.Respawns == 0 || faulty.RetransSegs == 0 {
+		t.Errorf("chaos did not bite: respawns=%d retrans=%d", faulty.Respawns, faulty.RetransSegs)
+	}
+	cleanKB := clean.CopiedKBPerReq * float64(faulty.Requests)
+	packKB := float64(faulty.Respawns) * 16.0
+	gotKB := faulty.CopiedKBPerReq * float64(faulty.Requests)
+	if budget := (cleanKB + packKB) * 1.10; gotKB > budget {
+		t.Errorf("copied %.1fKB under offload chaos exceeds pin %.1fKB (clean %.1fKB + %d respawn packs) — recovery re-charged copies",
+			gotKB, budget, cleanKB, faulty.Respawns)
+	}
+	if faulty.GoodputKReq < 0.70*clean.GoodputKReq {
+		t.Errorf("goodput %.1f kreq/s under offload chaos, want ≥ 70%% of clean %.1f",
+			faulty.GoodputKReq, clean.GoodputKReq)
+	}
+	t.Logf("clean offl: %.1f kreq/s copied=%.2fKB/req; chaos offl: %.1f kreq/s copied=%.2fKB/req retrans=%.2f%%",
+		clean.GoodputKReq, clean.CopiedKBPerReq, faulty.GoodputKReq, faulty.CopiedKBPerReq, faulty.RetransPct*100)
+}

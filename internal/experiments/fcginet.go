@@ -11,10 +11,11 @@ import (
 	"iolite/internal/sim"
 )
 
-// hostSegStats reads one host's transmitted data-segment counters.
-func hostSegStats(h *netsim.Host) (pkts, bytes int64) {
+// hostSegStats reads one host's transmitted data-segment counters:
+// charged transmit units, payload bytes, MSS wire chunks, and ack packets.
+func hostSegStats(h *netsim.Host) (pkts, bytes, segs, acks int64) {
 	pkts, _, bytes, _ = h.Stats()
-	return pkts, bytes
+	return pkts, bytes, h.SegsOut(), h.AcksOut()
 }
 
 // The fcgi-net experiment: the LAN-tax study the transport layer exists
@@ -70,6 +71,10 @@ type FCGINetParams struct {
 	// (fcgi.PoolConfig.Ring): batched record writes and coalesced reads
 	// instead of one charged syscall per record and per delivery.
 	Ring bool
+	// Offload enables LSO/GRO segment offload on every machine in the
+	// topology: super-segments charged once, coalesced receive events,
+	// and delayed acks (kernel.Config.Offload).
+	Offload bool
 
 	Warmup  time.Duration
 	Measure time.Duration
@@ -101,6 +106,12 @@ type FCGINetResult struct {
 	// the pipe placement (no packets at all).
 	PktsPerReq float64
 	SegFill    float64
+	// SegsPerReq is MSS-granular wire chunks per request (== PktsPerReq
+	// without offload; with LSO one charged unit carries many chunks) and
+	// AcksPerReq the ack packets per request — without them pkts/request
+	// undercounts the wire by the whole ack stream.
+	SegsPerReq float64
+	AcksPerReq float64
 	// SyscallsPerReq is the kernel crossings charged per completed request
 	// across the topology — the meter the submission ring exists to lower.
 	SyscallsPerReq float64
@@ -142,7 +153,7 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 	if fp.Obs != nil {
 		fp.Obs.Attach(eng, costs)
 	}
-	m := kernel.NewMachine(eng, costs, kernel.Config{})
+	m := kernel.NewMachine(eng, costs, kernel.Config{Offload: fp.Offload})
 	srv := m.NewProcess("fcgi-srv", 2<<20)
 
 	var tr fcgi.Transport
@@ -239,6 +250,9 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 	if fp.Ring {
 		mode += " ring"
 	}
+	if fp.Offload {
+		mode += " offl"
+	}
 	res := FCGINetResult{Label: fmt.Sprintf("%s %s w=%d d=%d", fp.Placement, mode, fp.Workers, fp.Depth)}
 	var warmDone int64
 	var reset obs.ResetSet
@@ -256,17 +270,21 @@ func RunFCGINet(fp FCGINetParams) FCGINetResult {
 		res.CopiedMB = float64(costs.MeterCopiedBytes()) / (1 << 20)
 		res.CPUUtil = m.CPU().Utilization()
 		res.WorkerCPUUtil = wm.CPU().Utilization()
-		pkts, bytes := hostSegStats(m.Host)
+		pkts, bytes, segs, acks := hostSegStats(m.Host)
 		if wm != m {
-			wp, wb := hostSegStats(wm.Host)
-			pkts, bytes = pkts+wp, bytes+wb
+			wp, wb, ws, wa := hostSegStats(wm.Host)
+			pkts, bytes, segs, acks = pkts+wp, bytes+wb, segs+ws, acks+wa
 		}
 		if res.Requests > 0 {
 			res.PktsPerReq = float64(pkts) / float64(res.Requests)
+			res.SegsPerReq = float64(segs) / float64(res.Requests)
+			res.AcksPerReq = float64(acks) / float64(res.Requests)
 			res.SyscallsPerReq = float64(costs.MeterSyscallCount()) / float64(res.Requests)
 		}
 		if pkts > 0 {
-			res.SegFill = float64(bytes) / (float64(pkts) * netsim.MSS)
+			// Fill measures against the charged unit's capacity: the
+			// super-segment under offload, one MSS otherwise.
+			res.SegFill = float64(bytes) / (float64(pkts) * float64(m.Host.SegCapacity()))
 		}
 	})
 	eng.Run()
@@ -289,16 +307,17 @@ func fcgiNetFigPoints(quick bool) []int {
 // sock-local ref, where the per-record and per-delivery syscalls were the
 // remaining gap to the pipe figure.
 var fcgiNetFigConfigs = []struct {
-	placement FCGINetPlacement
-	ref, ring bool
+	placement          FCGINetPlacement
+	ref, ring, offload bool
 }{
-	{PlacePipe, false, false},
-	{PlacePipe, true, false},
-	{PlaceSockLocal, false, false},
-	{PlaceSockLocal, true, false},
-	{PlaceSockLocal, true, true},
-	{PlaceSockRemote, false, false},
-	{PlaceSockRemote, true, false},
+	{PlacePipe, false, false, false},
+	{PlacePipe, true, false, false},
+	{PlaceSockLocal, false, false, false},
+	{PlaceSockLocal, true, false, false},
+	{PlaceSockLocal, true, true, false},
+	{PlaceSockLocal, true, false, true},
+	{PlaceSockRemote, false, false, false},
+	{PlaceSockRemote, true, false, false},
 }
 
 // FigFCGINet — the LAN-tax figure: completed requests per second versus
@@ -317,6 +336,7 @@ func FigFCGINet(opt Options) *Table {
 		Columns: []string{
 			"pipe copy", "pipe ref",
 			"sock-local copy", "sock-local ref", "sock-local ref ring",
+			"sock-local ref offl",
 			"sock-remote copy", "sock-remote ref",
 		},
 	}
@@ -331,26 +351,30 @@ func FigFCGINet(opt Options) *Table {
 	}
 	for _, n := range points {
 		row := Row{Label: fmt.Sprintf("%d", n)}
-		var localRef, localRing FCGINetResult
+		var localRef, localRing, localOffl FCGINetResult
 		for _, cfg := range fcgiNetFigConfigs {
 			r := RunFCGINet(FCGINetParams{
 				Placement: cfg.placement,
 				Workers:   n,
 				Ref:       cfg.ref,
 				Ring:      cfg.ring,
+				Offload:   cfg.offload,
 				Warmup:    warm,
 				Measure:   meas,
 				Obs:       opt.Trace,
 			})
-			opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f, %.1f sys/req, p50 %.0fµs p99 %.0fµs)",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq, r.P50Us, r.P99Us)
+			opt.progress("FigFCGINet %s: %.1f kreq/s (copied %.1f MB, cpu %.2f/%.2f, %.1f pkts/req, %.1f acks/req, fill %.2f, %.1f sys/req, p50 %.0fµs p99 %.0fµs)",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.AcksPerReq, r.SegFill, r.SyscallsPerReq, r.P50Us, r.P99Us)
 			row.Values = append(row.Values, r.KReqPerSec)
-			if cfg.placement == PlaceSockLocal && cfg.ref {
-				if cfg.ring {
-					localRing = r
+			if cfg.placement == PlaceSockLocal && cfg.ref && !cfg.ring {
+				if cfg.offload {
+					localOffl = r
 				} else {
 					localRef = r
 				}
+			}
+			if cfg.placement == PlaceSockLocal && cfg.ref && cfg.ring {
+				localRing = r
 			}
 			if n == notesAt {
 				t.Notes = append(t.Notes, fmt.Sprintf(
@@ -364,6 +388,13 @@ func FigFCGINet(opt Options) *Table {
 				localRef.SyscallsPerReq, localRing.SyscallsPerReq,
 				localRef.KReqPerSec, localRing.KReqPerSec))
 		}
+		if n == notesAt && localOffl.Requests > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"offload before/after (sock-local ref): %.1f → %.1f pkts/req, %.1f → %.1f acks/req, %.1f → %.1f kreq/s",
+				localRef.PktsPerReq, localOffl.PktsPerReq,
+				localRef.AcksPerReq, localOffl.AcksPerReq,
+				localRef.KReqPerSec, localOffl.KReqPerSec))
+		}
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
@@ -375,6 +406,8 @@ func FigFCGINet(opt Options) *Table {
 		"records into MSS-sized segments and autotuned windows (depth × typical record)",
 		"keep admission from fragmenting — fewer, fuller packets per request",
 		"sys/req meters kernel crossings; the ring column batches record writes and",
-		"coalesces deliveries, paying O(1) Submit+Reap charges per flush cycle")
+		"coalesces deliveries, paying O(1) Submit+Reap charges per flush cycle",
+		"the offl column turns on LSO/GRO segment offload: up to 64KB super-segments",
+		"charged protocol work once, coalesced receive events, and delayed acks")
 	return t
 }

@@ -13,24 +13,27 @@ import (
 //
 //	go test ./internal/experiments -bench=FCGINet -benchtime=1x
 
-func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref, ring bool) {
+func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref, ring, offload bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := RunFCGINet(FCGINetParams{
 			Placement: placement,
 			Ref:       ref,
 			Ring:      ring,
+			Offload:   offload,
 			Warmup:    200 * time.Millisecond,
 			Measure:   time.Second,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f, %.1f pkts/req, fill %.2f, %.1f sys/req\n",
-				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+			fmt.Printf("%s: %.1f kreq/s, copied %.2f MB, cpu %.2f/%.2f, %.1f pkts/req, %.1f acks/req, fill %.2f, %.1f sys/req\n",
+				r.Label, r.KReqPerSec, r.CopiedMB, r.CPUUtil, r.WorkerCPUUtil, r.PktsPerReq, r.AcksPerReq, r.SegFill, r.SyscallsPerReq)
 			b.ReportMetric(r.KReqPerSec, "kreq/s")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.CPUUtil*100, "cpu_pct")
 			b.ReportMetric(r.WorkerCPUUtil*100, "wkr_cpu_pct")
 			b.ReportMetric(r.PktsPerReq, "pkts/req")
+			b.ReportMetric(r.SegsPerReq, "segs_per_req")
+			b.ReportMetric(r.AcksPerReq, "acks_per_req")
 			b.ReportMetric(r.SegFill*100, "segfill_pct")
 			b.ReportMetric(r.SyscallsPerReq, "syscalls_per_req")
 			b.ReportMetric(r.P50Us, "latency_p50_us")
@@ -40,21 +43,29 @@ func benchFCGINet(b *testing.B, placement FCGINetPlacement, ref, ring bool) {
 }
 
 // BenchmarkFCGINetPipeCopy / PipeRef — the in-machine baseline.
-func BenchmarkFCGINetPipeCopy(b *testing.B) { benchFCGINet(b, PlacePipe, false, false) }
-func BenchmarkFCGINetPipeRef(b *testing.B)  { benchFCGINet(b, PlacePipe, true, false) }
+func BenchmarkFCGINetPipeCopy(b *testing.B) { benchFCGINet(b, PlacePipe, false, false, false) }
+func BenchmarkFCGINetPipeRef(b *testing.B)  { benchFCGINet(b, PlacePipe, true, false, false) }
 
 // BenchmarkFCGINetLocalCopy / LocalRef — loopback TCP: the protocol tax
 // without the boundary.
-func BenchmarkFCGINetLocalCopy(b *testing.B) { benchFCGINet(b, PlaceSockLocal, false, false) }
-func BenchmarkFCGINetLocalRef(b *testing.B)  { benchFCGINet(b, PlaceSockLocal, true, false) }
+func BenchmarkFCGINetLocalCopy(b *testing.B) { benchFCGINet(b, PlaceSockLocal, false, false, false) }
+func BenchmarkFCGINetLocalRef(b *testing.B)  { benchFCGINet(b, PlaceSockLocal, true, false, false) }
 
 // BenchmarkFCGINetLocalRefRing — the submission-ring variant of the local
 // socket: batched record writes and coalesced reads take the kernel-
 // crossing installment back out of the LAN tax (compare syscalls_per_req
 // and kreq/s against LocalRef, and kreq/s against PipeRef).
-func BenchmarkFCGINetLocalRefRing(b *testing.B) { benchFCGINet(b, PlaceSockLocal, true, true) }
+func BenchmarkFCGINetLocalRefRing(b *testing.B) { benchFCGINet(b, PlaceSockLocal, true, true, false) }
 
 // BenchmarkFCGINetRemoteCopy / RemoteRef — workers on their own machine:
 // scale-out against the boundary copy and the wire.
-func BenchmarkFCGINetRemoteCopy(b *testing.B) { benchFCGINet(b, PlaceSockRemote, false, false) }
-func BenchmarkFCGINetRemoteRef(b *testing.B)  { benchFCGINet(b, PlaceSockRemote, true, false) }
+func BenchmarkFCGINetRemoteCopy(b *testing.B) { benchFCGINet(b, PlaceSockRemote, false, false, false) }
+func BenchmarkFCGINetRemoteRef(b *testing.B)  { benchFCGINet(b, PlaceSockRemote, true, false, false) }
+
+// BenchmarkFCGINetLocalRefOffload — segment offload on the local socket:
+// super-segment send charging, coalesced receives, and delayed acks take
+// the per-segment installment back out of the LAN tax (compare pkts/req,
+// acks_per_req, and kreq/s against LocalRef).
+func BenchmarkFCGINetLocalRefOffload(b *testing.B) {
+	benchFCGINet(b, PlaceSockLocal, true, false, true)
+}

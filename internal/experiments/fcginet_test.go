@@ -128,8 +128,8 @@ func TestFigFCGINetTable(t *testing.T) {
 		t.Skip("full figure")
 	}
 	tbl := FigFCGINet(Options{Quick: true})
-	if len(tbl.Rows) < 2 || len(tbl.Columns) != 7 {
-		t.Fatalf("table %dx%d, want ≥2 rows x 7 cols", len(tbl.Rows), len(tbl.Columns))
+	if len(tbl.Rows) < 2 || len(tbl.Columns) != 8 {
+		t.Fatalf("table %dx%d, want ≥2 rows x 8 cols", len(tbl.Rows), len(tbl.Columns))
 	}
 	for _, row := range tbl.Rows {
 		if len(row.Values) != len(tbl.Columns) {
@@ -140,5 +140,59 @@ func TestFigFCGINetTable(t *testing.T) {
 				t.Errorf("row %s col %s: %.2f kreq/s", row.Label, tbl.Columns[i], v)
 			}
 		}
+	}
+}
+
+// TestAcceptanceOffloadClosesProtocolGap is this PR's acceptance pin:
+// LSO/GRO segment offload on the sock-local ref placement at least
+// doubles kreq/s, total packets per request (data + acks) fall to at
+// most 55% of the offload-off baseline, the same MSS-granular chunks
+// still cross the wire, and the tail does not regress.
+func TestAcceptanceOffloadClosesProtocolGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run acceptance study")
+	}
+	run := func(offload bool) FCGINetResult {
+		r := RunFCGINet(FCGINetParams{
+			Placement: PlaceSockLocal,
+			Workers:   2,
+			Depth:     16,
+			Ref:       true,
+			Offload:   offload,
+			Warmup:    150 * time.Millisecond,
+			Measure:   600 * time.Millisecond,
+		})
+		if r.Failures != 0 || r.Requests == 0 {
+			t.Fatalf("%s: %d requests, %d failures", r.Label, r.Requests, r.Failures)
+		}
+		return r
+	}
+	off := run(false)
+	on := run(true)
+
+	t.Logf("sock-local ref d=16: %.1f → %.1f kreq/s, %.1f+%.1f → %.1f+%.1f pkts+acks/req, p99 %.0f → %.0fµs",
+		off.KReqPerSec, on.KReqPerSec, off.PktsPerReq, off.AcksPerReq, on.PktsPerReq, on.AcksPerReq,
+		off.P99Us, on.P99Us)
+	if on.KReqPerSec < 2*off.KReqPerSec {
+		t.Errorf("offload %.1f kreq/s vs %.1f baseline; want ≥ 2x — super-segment charging didn't bite",
+			on.KReqPerSec, off.KReqPerSec)
+	}
+	offWire := off.PktsPerReq + off.AcksPerReq
+	onWire := on.PktsPerReq + on.AcksPerReq
+	if onWire > 0.55*offWire {
+		t.Errorf("offload moves %.1f pkts+acks/req vs %.1f baseline; want ≤ 55%%",
+			onWire, offWire)
+	}
+	// Without offload every charged unit is one MSS chunk; with it the
+	// ack meter must be populated and the wire still carries MSS chunks.
+	if off.SegsPerReq != off.PktsPerReq {
+		t.Errorf("offload-off segs/req %.2f != pkts/req %.2f", off.SegsPerReq, off.PktsPerReq)
+	}
+	if off.AcksPerReq == 0 || on.AcksPerReq == 0 || on.SegsPerReq == 0 {
+		t.Errorf("packet-economy meters silent: off acks %.1f, on acks %.1f, on segs %.1f",
+			off.AcksPerReq, on.AcksPerReq, on.SegsPerReq)
+	}
+	if on.P99Us > 1.10*off.P99Us {
+		t.Errorf("offload p99 %.0fµs regressed vs %.0fµs baseline", on.P99Us, off.P99Us)
 	}
 }

@@ -14,26 +14,29 @@ import (
 //
 //	go test ./internal/experiments -bench=Proxy -benchtime=1x
 
-func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
+func benchProxy(b *testing.B, mode apps.ProxyMode, direct, offload bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := RunProxy(ProxyParams{
 			Origin:  CfgFlashLite,
 			Mode:    mode,
 			Direct:  direct,
+			Offload: offload,
 			Warmup:  300 * time.Millisecond,
 			Measure: time.Second,
 			Seed:    9,
 		})
 		if i == 0 {
-			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f, %.1f pkts/req, fill %.2f, %.1f sys/req\n",
-				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil, r.PktsPerReq, r.SegFill, r.SyscallsPerReq)
+			fmt.Printf("%s: %.1f Mb/s, hit %.2f, copied %.2f MB, ck-hit %.2f, cpu %.2f, %.1f pkts/req, %.1f acks/req, fill %.2f, %.1f sys/req\n",
+				r.Label, r.Mbps, r.HitRate, r.CopiedMB, r.CksumHitRate, r.ServerCPUUtil, r.PktsPerReq, r.AcksPerReq, r.SegFill, r.SyscallsPerReq)
 			b.ReportMetric(r.Mbps, "Mbps")
 			b.ReportMetric(r.CopiedMB, "copiedMB")
 			b.ReportMetric(r.HitRate*100, "hit_pct")
 			b.ReportMetric(r.CksumHitRate*100, "ckhit_pct")
 			b.ReportMetric(r.ServerCPUUtil*100, "cpu_pct")
 			b.ReportMetric(r.PktsPerReq, "pkts/req")
+			b.ReportMetric(r.SegsPerReq, "segs_per_req")
+			b.ReportMetric(r.AcksPerReq, "acks_per_req")
 			b.ReportMetric(r.SegFill*100, "segfill_pct")
 			b.ReportMetric(r.SyscallsPerReq, "syscalls_per_req")
 			b.ReportMetric(r.P50Us, "latency_p50_us")
@@ -43,13 +46,18 @@ func benchProxy(b *testing.B, mode apps.ProxyMode, direct bool) {
 }
 
 // BenchmarkProxyDirect — clients straight at the Flash-Lite origin.
-func BenchmarkProxyDirect(b *testing.B) { benchProxy(b, apps.ProxyCopy, true) }
+func BenchmarkProxyDirect(b *testing.B) { benchProxy(b, apps.ProxyCopy, true, false) }
 
 // BenchmarkProxyCopy — the conventional copying proxy baseline.
-func BenchmarkProxyCopy(b *testing.B) { benchProxy(b, apps.ProxyCopy, false) }
+func BenchmarkProxyCopy(b *testing.B) { benchProxy(b, apps.ProxyCopy, false, false) }
 
 // BenchmarkProxyZeroCopy — the IOL_read/IOL_write zero-copy relay.
-func BenchmarkProxyZeroCopy(b *testing.B) { benchProxy(b, apps.ProxyZeroCopy, false) }
+func BenchmarkProxyZeroCopy(b *testing.B) { benchProxy(b, apps.ProxyZeroCopy, false, false) }
 
 // BenchmarkProxySplice — cache hits served by the kernel splice fast path.
-func BenchmarkProxySplice(b *testing.B) { benchProxy(b, apps.ProxySplice, false) }
+func BenchmarkProxySplice(b *testing.B) { benchProxy(b, apps.ProxySplice, false, false) }
+
+// BenchmarkProxyZeroCopyOffload — the zero-copy relay with segment
+// offload on every charged host: the packet-economy companion to
+// BenchmarkProxyZeroCopy (compare pkts/req and acks_per_req).
+func BenchmarkProxyZeroCopyOffload(b *testing.B) { benchProxy(b, apps.ProxyZeroCopy, false, true) }

@@ -103,3 +103,41 @@ func TestProxyDirectComparison(t *testing.T) {
 		t.Errorf("FL-splice direct %.0f Mb/s below Flash-Lite %.0f", spl.Mbps, direct.Mbps)
 	}
 }
+
+// TestProxyOffloadPacketEconomy pins the proxy half of the offload
+// acceptance bar: the zero-copy relay with segment offload moves at most
+// 55% of the baseline's packets per request (data + acks) and does not
+// give back throughput.
+func TestProxyOffloadPacketEconomy(t *testing.T) {
+	run := func(offload bool) ProxyResult {
+		r := RunProxy(ProxyParams{
+			Origin:  CfgFlashLite,
+			Mode:    apps.ProxyZeroCopy,
+			Offload: offload,
+			Warmup:  500 * time.Millisecond,
+			Measure: 1500 * time.Millisecond,
+			Seed:    7,
+		})
+		if r.Errors != 0 || r.Aborted != 0 {
+			t.Fatalf("%s: errors=%d aborted=%d", r.Label, r.Errors, r.Aborted)
+		}
+		return r
+	}
+	off := run(false)
+	on := run(true)
+
+	t.Logf("proxy-zc: %.0f → %.0f Mb/s, %.1f+%.1f → %.1f+%.1f pkts+acks/req",
+		off.Mbps, on.Mbps, off.PktsPerReq, off.AcksPerReq, on.PktsPerReq, on.AcksPerReq)
+	offWire := off.PktsPerReq + off.AcksPerReq
+	onWire := on.PktsPerReq + on.AcksPerReq
+	if onWire > 0.55*offWire {
+		t.Errorf("offload moves %.1f pkts+acks/req vs %.1f baseline; want ≤ 55%%",
+			onWire, offWire)
+	}
+	if off.AcksPerReq == 0 || on.AcksPerReq == 0 {
+		t.Errorf("ack meters silent: off %.1f, on %.1f acks/req", off.AcksPerReq, on.AcksPerReq)
+	}
+	if on.Mbps < off.Mbps {
+		t.Errorf("offload throughput %.0f Mb/s below baseline %.0f", on.Mbps, off.Mbps)
+	}
+}

@@ -13,18 +13,24 @@ import (
 // checksums cached.
 //
 // GetOrPack is safe against the mux's intra-worker concurrency: packing
-// yields (allocation and producer-copy charges), so two handlers for the
-// same new key can race to fill the slot. The loser's aggregate is
-// released, never orphaned — a leak the one-request-per-worker protocol
-// this subsystem replaced could not express, and every caching handler
-// would otherwise have to dodge by hand.
+// yields (allocation and producer-copy charges), so concurrent handlers
+// for the same new key pile up on the miss. Misses are single-flight —
+// the first handler packs, the rest wait on the slot — because a losing
+// duplicate pack is not merely wasted charge: pack-buffer space is
+// append-only, so a burst of duplicates (a whole mux depth arriving in
+// one coalesced receive event) permanently consumes pool chunks that the
+// cached document then pins for the worker's lifetime.
 type AggCache struct {
-	docs map[*Worker]map[int64]*core.Agg
+	docs    map[*Worker]map[int64]*core.Agg
+	filling map[*Worker]map[int64]*sim.WaitQueue
 }
 
 // NewAggCache returns an empty cache.
 func NewAggCache() *AggCache {
-	return &AggCache{docs: make(map[*Worker]map[int64]*core.Agg)}
+	return &AggCache{
+		docs:    make(map[*Worker]map[int64]*core.Agg),
+		filling: make(map[*Worker]map[int64]*sim.WaitQueue),
+	}
 }
 
 // GetOrPack returns the cached aggregate for key in w's pool, packing
@@ -36,17 +42,30 @@ func (c *AggCache) GetOrPack(p *sim.Proc, w *Worker, key int64, gen func() []byt
 		docs = make(map[int64]*core.Agg)
 		c.docs[w] = docs
 	}
-	if agg, ok := docs[key]; ok {
-		return agg
+	for {
+		if agg, ok := docs[key]; ok {
+			return agg
+		}
+		fq := c.filling[w][key]
+		if fq == nil {
+			break
+		}
+		// Another handler is mid-pack for this key: wait for it rather
+		// than packing a duplicate, then re-check (the packer may have
+		// been retired with its worker instead of filling the slot).
+		fq.Wait(p)
 	}
+	fills := c.filling[w]
+	if fills == nil {
+		fills = make(map[int64]*sim.WaitQueue)
+		c.filling[w] = fills
+	}
+	fq := &sim.WaitQueue{}
+	fills[key] = fq
 	fresh := core.PackBytes(p, w.Proc.Pool, gen())
-	if winner, ok := docs[key]; ok {
-		// A concurrent handler filled the slot while the pack yielded:
-		// keep the winner, drop the duplicate's references.
-		fresh.Release()
-		return winner
-	}
 	docs[key] = fresh
+	delete(fills, key)
+	fq.Wake(-1)
 	return fresh
 }
 
@@ -58,6 +77,12 @@ func (c *AggCache) Drop(w *Worker) {
 		agg.Release()
 	}
 	delete(c.docs, w)
+	// Wake anything parked on an in-flight pack; the packer still fills
+	// its (now-forgotten) slot, and woken waiters find it there.
+	for _, fq := range c.filling[w] {
+		fq.Wake(-1)
+	}
+	delete(c.filling, w)
 }
 
 // RawCache is AggCache's conventional sibling: per-worker documents as

@@ -210,7 +210,9 @@ func NewRemoteTransport(m *kernel.Machine, server *kernel.Process, wm *kernel.Ma
 // distributed-worker topology. It returns the transport and the worker
 // machine (callers measure its CPU separately).
 func NewLANTransport(m *kernel.Machine, server *kernel.Process, ref bool, workerMem int, hostName string) (*SocketTransport, *kernel.Machine) {
-	wm := kernel.NewMachine(m.Eng, m.Costs, kernel.Config{HostName: hostName})
+	// The worker machine inherits the server machine's offload setting so
+	// both ends of the link run the same packet economy.
+	wm := kernel.NewMachine(m.Eng, m.Costs, kernel.Config{HostName: hostName, Offload: m.Host.Offload()})
 	link := netsim.NewLink(m.Eng, m.Host, wm.Host, LANBps, LANDelay)
 	return NewRemoteTransport(m, server, wm, link, ref, workerMem), wm
 }

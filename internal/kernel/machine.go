@@ -36,6 +36,10 @@ type Config struct {
 	// Multi-machine topologies — remote fcgi worker tiers — give each
 	// machine its own name so resource traces stay readable.
 	HostName string
+	// Offload enables LSO/GRO-style segment offload on the machine's
+	// network host: super-segment send charging, coalesced receive
+	// events, and delayed acks (netsim.Host.SetOffload).
+	Offload bool
 }
 
 // Machine is one simulated computer: CPU, memory, disk, file system, the
@@ -93,6 +97,9 @@ func NewMachine(eng *sim.Engine, costs *sim.CostModel, cfg Config) *Machine {
 	}
 	m.Mmaps = newMmapCache(m)
 	m.Host = netsim.NewHost(eng, costs, cfg.HostName, true, m.VM, m.CkCache)
+	if cfg.Offload {
+		m.Host.SetOffload(true)
+	}
 
 	// The pageout pressure chain (§3.7): reclaim file-cache memory first
 	// from whichever cache is populated, then return recycled pool pages.

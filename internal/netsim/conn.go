@@ -100,26 +100,68 @@ type segPiece struct {
 	data []byte
 }
 
-// ackRecord tracks one in-flight segment so acknowledgments release
-// resources in order. A gathered segment can complete several send items,
-// so it holds one agg reference per ref piece and every completed item's
-// done callback, fired in admission order when the cumulative ack covers
-// the segment. The record keeps its gathered pieces so a retransmission
-// re-sends the very same buffers: no copy is re-charged (the copy was paid
-// at admission) and no extra agg reference is taken (the record's single
-// reference per ref piece lives until the ack releases it).
-type ackRecord struct {
+// segChunk is one MSS-granular wire unit of an in-flight segment. Without
+// offload a record carries exactly one chunk; with LSO a super-segment
+// carries up to SuperSeg/MSS of them, but sequence space, fault judgment,
+// and acknowledgment all stay chunk-granular: the receiver can accept a
+// super-segment's prefix up to a hole, and the resulting partial ack
+// releases whole chunks only. A chunk holds one agg reference per ref
+// piece and the done callbacks of send items whose last byte it carries.
+type segChunk struct {
 	seq    int64 // first payload byte's sequence number
 	n      int
 	pieces []segPiece
 	aggs   []*core.Agg // reference-mode piece payloads, released on ack
 	dones  []func()
+}
+
+// ackRecord tracks one in-flight (super-)segment so acknowledgments
+// release resources in order. The record keeps its gathered chunks so a
+// retransmission re-sends the very same buffers: no copy is re-charged
+// (the copy was paid at admission) and no extra agg reference is taken
+// (each chunk's single reference per ref piece lives until the ack
+// releases it). Partial acks trim acknowledged chunks off the front, so
+// go-back-N resends only the stored pieces that cover the hole — never a
+// whole super-segment whose prefix already arrived.
+type ackRecord struct {
+	seq    int64 // first unacknowledged payload byte's sequence number
+	n      int   // unacknowledged payload bytes (sum of chunk lengths)
+	chunks []segChunk
 	sent   sim.Time // first transmission, for RTT sampling
 	retx   bool     // retransmitted at least once (Karn: no RTT sample)
 }
 
 // end returns the sequence number just past this segment.
 func (r *ackRecord) end() int64 { return r.seq + int64(r.n) }
+
+// trimAcked releases the record's chunks wholly below ackNo — their agg
+// references, done callbacks (in admission order), and window bytes —
+// leaving the remainder in place for retransmission. Returns the payload
+// bytes freed. Cumulative acks land only on chunk boundaries (the
+// receiver accepts whole chunks); anything else is a protocol bug.
+func (r *ackRecord) trimAcked(ackNo int64) int {
+	freed := 0
+	for len(r.chunks) > 0 {
+		ck := &r.chunks[0]
+		if ck.seq+int64(ck.n) > ackNo {
+			break
+		}
+		for _, a := range ck.aggs {
+			a.Release()
+		}
+		for _, done := range ck.dones {
+			done()
+		}
+		freed += ck.n
+		r.seq = ck.seq + int64(ck.n)
+		r.n -= ck.n
+		r.chunks = r.chunks[1:]
+	}
+	if r.seq < ackNo && len(r.chunks) > 0 {
+		panic(fmt.Sprintf("netsim: ack %d splits chunk at %d", ackNo, r.chunks[0].seq))
+	}
+	return freed
+}
 
 // Retransmission timing. RTO adapts to measured RTT (Jacobson) between
 // these clamps; every timer expiry doubles it (exponential backoff) until
@@ -197,6 +239,16 @@ type Endpoint struct {
 	rcvClosed bool
 	rcvNxt    int64
 	rcvShut   bool
+
+	// Delayed-ack state (active only when the host's offload knob is on):
+	// ackEvents counts in-order receive events since the last ack left;
+	// every AckEvery-th event acks immediately, and the wheel timer
+	// bounds the wait for the rest. An out-of-order arrival flushes
+	// immediately — the dup-ack fast-retransmit signal never waits out
+	// the delay — and an outgoing data segment piggybacks any pending
+	// ack for free.
+	ackEvents int
+	ackTimer  *sim.Timer
 
 	// rcvNotify/sndNotify fire (if set) when the receive side becomes
 	// ready (delivery or FIN) / when transmit-window space frees. Readiness
@@ -385,13 +437,16 @@ func (e *Endpoint) holdTail() bool {
 	return e.corked && e.sndBytes < e.tss
 }
 
-// emitSegment gathers up to MSS bytes from adjacent send items into one
-// segment — the tail of one item plus whole following items, mixing copy
-// and reference pieces — charges its protocol work, and puts it on the
-// wire. Items whose last byte is admitted to the segment attach their done
-// callbacks to its ack record.
+// emitSegment gathers adjacent send items into one segment — the tail of
+// one item plus whole following items, mixing copy and reference pieces —
+// charges its protocol work, and puts it on the wire. Without offload the
+// segment is one MSS-sized chunk, exactly the pre-offload pump. With LSO
+// it is a super-segment of up to SuperSeg/MSS chunks whose fixed protocol
+// work (mbuf, packet path, wire emit) is charged once, plus a small
+// per-chunk segmentation residual; sequence space stays chunk-granular so
+// faults and acks inside the super-segment resolve per MSS. Items whose
+// last byte is admitted attach their done callbacks to their chunk.
 func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
-	var pieces []segPiece
 	rec := &ackRecord{seq: e.sndNxt}
 	// Attribute the segment's wire and checksum work to the request that
 	// queued its head item: the pump proc temporarily wears the sender's
@@ -402,35 +457,53 @@ func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 		p.SetAttrib(bind)
 		defer p.SetAttrib(nil)
 	}
+	maxChunks := 1
+	if e.host.offload {
+		maxChunks = e.host.ocfg.SuperSeg / MSS
+	}
 	cpu := costs.MbufAlloc + costs.Packet
-	for rec.n < MSS && len(e.sndQ) > 0 {
-		item := e.sndQ[0]
-		take := item.pl.Len() - item.off
-		if room := MSS - rec.n; take > room {
-			take = room
+	for len(rec.chunks) < maxChunks && len(e.sndQ) > 0 {
+		if len(rec.chunks) > 0 && e.queued-rec.n < MSS && !e.closing && !e.flush {
+			// Nagle inside the super-segment: a sub-MSS tail chunk waits
+			// for more data or the draining acks, exactly as it would
+			// have as a standalone segment.
+			break
 		}
-		if item.pl.Agg != nil {
-			pa := item.pl.Agg.Range(item.off, take)
-			pieces = append(pieces, segPiece{agg: pa})
-			rec.aggs = append(rec.aggs, pa)
-			if e.host.ck == nil {
-				cpu += costs.Cksum(take)
-			}
-		} else {
-			pieces = append(pieces, segPiece{data: item.pl.Data[item.off : item.off+take]})
-			cpu += costs.Cksum(take)
-		}
-		item.off += take
-		rec.n += take
-		if item.off == item.pl.Len() {
-			if item.done != nil {
-				rec.dones = append(rec.dones, item.done)
+		ck := segChunk{seq: rec.seq + int64(rec.n)}
+		for ck.n < MSS && len(e.sndQ) > 0 {
+			item := e.sndQ[0]
+			take := item.pl.Len() - item.off
+			if room := MSS - ck.n; take > room {
+				take = room
 			}
 			if item.pl.Agg != nil {
-				item.pl.Agg.Release() // segment pieces hold their own references
+				pa := item.pl.Agg.Range(item.off, take)
+				ck.pieces = append(ck.pieces, segPiece{agg: pa})
+				ck.aggs = append(ck.aggs, pa)
+				if e.host.ck == nil {
+					cpu += costs.Cksum(take)
+				}
+			} else {
+				ck.pieces = append(ck.pieces, segPiece{data: item.pl.Data[item.off : item.off+take]})
+				cpu += costs.Cksum(take)
 			}
-			e.sndQ = e.sndQ[1:]
+			item.off += take
+			ck.n += take
+			if item.off == item.pl.Len() {
+				if item.done != nil {
+					ck.dones = append(ck.dones, item.done)
+				}
+				if item.pl.Agg != nil {
+					item.pl.Agg.Release() // segment pieces hold their own references
+				}
+				e.sndQ = e.sndQ[1:]
+			}
 		}
+		rec.n += ck.n
+		rec.chunks = append(rec.chunks, ck)
+	}
+	if len(rec.chunks) > 1 {
+		cpu += sim.Duration(len(rec.chunks)-1) * costs.SegChunk
 	}
 	e.queued -= rec.n
 	if e.queued == 0 {
@@ -440,22 +513,37 @@ func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 	if e.host.ck != nil {
 		// Checksum cache: only cold slices cost CPU (§3.9); the cache
 		// charges p internally for misses, per gathered ref piece.
-		for _, pc := range pieces {
-			if pc.agg != nil {
-				e.host.ck.Partial(p, costs, pc.agg)
+		for _, ck := range rec.chunks {
+			for _, pc := range ck.pieces {
+				if pc.agg != nil {
+					e.host.ck.Partial(p, costs, pc.agg)
+				}
 			}
 		}
 	}
-	rec.pieces = pieces
 	rec.sent = e.host.eng.Now()
 	e.sndNxt += int64(rec.n)
 	e.ackFIFO = append(e.ackFIFO, rec)
 	costs.EmitWire(int64(rec.n), bind)
+	e.piggybackAck()
 	e.transmitData(p, rec)
 	e.armRTO()
 
 	e.host.pktsOut++
+	e.host.segsOut += int64(len(rec.chunks))
 	e.host.bytesOut += int64(rec.n)
+}
+
+// wireTime is the record's total serialization time: each MSS chunk goes
+// on the wire as its own packet (the NIC segments a super-segment back
+// into MSS frames), so per-chunk header and framing overhead is paid in
+// wire time even when the CPU charged the protocol path only once.
+func (e *Endpoint) wireTime(rec *ackRecord) sim.Duration {
+	var d sim.Duration
+	for _, ck := range rec.chunks {
+		d += e.link.txTime(ck.n + HeaderLen)
+	}
+	return d
 }
 
 // transmitData serializes one data segment on the wire and schedules its
@@ -464,28 +552,43 @@ func (e *Endpoint) emitSegment(p *sim.Proc, costs *sim.CostModel) {
 // corrupts it (it arrives flagged so the receiver's checksum verification
 // rejects it).
 func (e *Endpoint) transmitData(p *sim.Proc, rec *ackRecord) {
-	link := e.link
-	link.wire[e.dir].Use(p, link.txTime(rec.n+HeaderLen))
+	e.link.wire[e.dir].Use(p, e.wireTime(rec))
 	e.scheduleDelivery(rec)
 }
 
-// scheduleDelivery judges the segment's fate at the transmit instant and
-// schedules its arrival after the propagation delay.
+// deliveredChunk is one MSS-granular wire chunk of an arriving (possibly
+// super-) segment, with its judged fate. A dropped chunk simply isn't in
+// the arrival; the chunks behind the hole still arrive and surface as
+// out-of-order at the receiver.
+type deliveredChunk struct {
+	seq     int64
+	n       int
+	pieces  []segPiece
+	corrupt bool
+}
+
+// scheduleDelivery judges each chunk's fate at the transmit instant and
+// schedules the survivors' arrival after the propagation delay — one
+// receive event per (super-)segment, however many chunks it carries.
 func (e *Endpoint) scheduleDelivery(rec *ackRecord) {
-	switch e.judgeSegment(e.host.eng.Now()) {
-	case segDrop:
-		return
-	case segCorrupt:
-		peer := e.peer
-		e.host.eng.After(e.link.delay, func() {
-			peer.deliver(rec.seq, rec.n, rec.pieces, true)
-		})
-	default:
-		peer := e.peer
-		e.host.eng.After(e.link.delay, func() {
-			peer.deliver(rec.seq, rec.n, rec.pieces, false)
-		})
+	now := e.host.eng.Now()
+	var arrive []deliveredChunk
+	for _, ck := range rec.chunks {
+		switch e.judgeSegment(now) {
+		case segDrop:
+		case segCorrupt:
+			arrive = append(arrive, deliveredChunk{seq: ck.seq, n: ck.n, pieces: ck.pieces, corrupt: true})
+		default:
+			arrive = append(arrive, deliveredChunk{seq: ck.seq, n: ck.n, pieces: ck.pieces})
+		}
 	}
+	if len(arrive) == 0 {
+		return
+	}
+	peer := e.peer
+	e.host.eng.After(e.link.delay, func() {
+		peer.deliver(arrive)
+	})
 }
 
 // armRTO (re)starts the retransmission timer when in-flight segments exist
@@ -536,25 +639,38 @@ func (e *Endpoint) retransmit() {
 	for _, rec := range e.ackFIFO {
 		rec.retx = true
 		cpu := costs.MbufAlloc + costs.Packet
-		for _, pc := range rec.pieces {
-			switch {
-			case pc.agg == nil:
-				cpu += costs.Cksum(len(pc.data))
-			case e.host.ck != nil:
-				cpu += costs.CksumLookup // cached since the first transmission
-			default:
-				cpu += costs.Cksum(pc.agg.Len())
+		for _, ck := range rec.chunks {
+			for _, pc := range ck.pieces {
+				switch {
+				case pc.agg == nil:
+					cpu += costs.Cksum(len(pc.data))
+				case e.host.ck != nil:
+					cpu += costs.CksumLookup // cached since the first transmission
+				default:
+					cpu += costs.Cksum(pc.agg.Len())
+				}
 			}
 		}
-		rec := rec
+		if len(rec.chunks) > 1 {
+			cpu += sim.Duration(len(rec.chunks)-1) * costs.SegChunk
+		}
+		// Resend what is unacknowledged at expiry: a partial ack that
+		// already trimmed the record leaves only the chunks covering the
+		// hole, so no whole-super-segment re-charge. The snapshot keeps
+		// the resend consistent with the cpu charge computed above even
+		// if another ack trims the live record while the charge queues
+		// (an ack racing a queued retransmit was resent whole before
+		// offload existed, and still is).
+		snap := &ackRecord{seq: rec.seq, n: rec.n, chunks: rec.chunks}
 		e.host.charge(cpu, func() {
-			link.wire[e.dir].UseAsync(link.txTime(rec.n+HeaderLen), func() {
-				e.scheduleDelivery(rec)
+			link.wire[e.dir].UseAsync(e.wireTime(snap), func() {
+				e.scheduleDelivery(snap)
 			})
 			e.host.pktsOut++
-			e.host.bytesOut += int64(rec.n)
+			e.host.segsOut += int64(len(snap.chunks))
+			e.host.bytesOut += int64(snap.n)
 			e.host.retransSegs++
-			e.host.retransBytes += int64(rec.n)
+			e.host.retransBytes += int64(snap.n)
 		})
 	}
 }
@@ -576,58 +692,107 @@ func (e *Endpoint) transmitFIN(p *sim.Proc) {
 	})
 }
 
-// deliver runs when a data segment arrives at the receiving host: interrupt
-// and early-demultiplexing work, checksum verification, reader wake-up, and
-// the cumulative acknowledgment back to the sender. A gathered segment
-// yields one delivery per piece — the Agg/Data distinction each piece's
-// sender chose survives coalescing — but charges the per-packet receive
-// work only once.
+// deliver runs when a data (super-)segment arrives at the receiving host:
+// interrupt and early-demultiplexing work, checksum verification, reader
+// wake-up, and the cumulative acknowledgment back to the sender — all
+// charged once per arrival event however many MSS chunks it carries (the
+// GRO half of segment offload; without offload each event is one chunk,
+// exactly the pre-offload receive path). The Agg/Data distinction each
+// piece's sender chose survives coalescing.
 //
-// Go-back-N discipline: only the next expected segment (seq == rcvNxt) is
-// accepted. A corrupted segment is discarded unacknowledged AFTER the
-// checksum pass that caught it was paid. An out-of-order segment (a
-// predecessor was lost) or a duplicate (spurious retransmission) is
-// discarded and the current cumulative ack repeated, which the sender
-// counts toward fast retransmit.
-func (e *Endpoint) deliver(seq int64, n int, pieces []segPiece, corrupt bool) {
+// Go-back-N discipline, per chunk: only the next expected chunk
+// (seq == rcvNxt) is accepted, so a hole inside a super-segment accepts
+// the prefix and discards the rest. A corrupted chunk is discarded
+// unacknowledged AFTER the checksum pass that caught it was paid. An
+// out-of-order chunk (a predecessor was lost) or a duplicate (spurious
+// retransmission) is discarded and the current cumulative ack repeated
+// immediately — never delayed — which the sender counts toward fast
+// retransmit.
+func (e *Endpoint) deliver(chunks []deliveredChunk) {
 	costs := e.host.costs
-	cpu := costs.Interrupt + costs.Packet + costs.Demux + costs.Cksum(n)
+	total := 0
+	for _, ck := range chunks {
+		total += ck.n
+	}
+	cpu := costs.Interrupt + costs.Packet + costs.Demux + costs.Cksum(total)
+	if len(chunks) > 1 {
+		cpu += sim.Duration(len(chunks)-1) * costs.SegChunk
+	}
 	e.host.charge(cpu, func() {
 		e.host.pktsIn++
-		e.host.bytesIn += int64(n)
-		if corrupt {
-			e.host.corruptIn++
-			return
-		}
-		if seq != e.rcvNxt {
-			e.sendAck(e.rcvNxt) // duplicate ack; the segment is discarded
-			return
-		}
-		e.rcvNxt += int64(n)
-		if !e.rcvShut {
-			for _, pc := range pieces {
-				d := Delivery{}
-				if pc.agg != nil {
-					d.Agg = pc.agg.Clone() // receiver's reference; sender's released on ack
-				} else {
-					// Copy mode: wire bytes land in receive socket buffers; a
-					// later Recv copies them out to the application.
-					d.Data = append([]byte(nil), pc.data...)
+		e.host.bytesIn += int64(total)
+		advanced, dup := false, false
+		for _, ck := range chunks {
+			switch {
+			case ck.corrupt:
+				e.host.corruptIn++
+			case ck.seq != e.rcvNxt:
+				dup = true // hole or duplicate; repeat the cumulative ack
+			default:
+				e.rcvNxt += int64(ck.n)
+				advanced = true
+				if !e.rcvShut {
+					e.queueDeliveries(ck.pieces)
 				}
-				e.rcvQ = append(e.rcvQ, d)
 			}
+		}
+		if advanced && !e.rcvShut {
 			e.rcvWait.Wake(-1)
 			if e.rcvNotify != nil {
 				e.rcvNotify()
 			}
 		}
-		e.sendAck(e.rcvNxt)
+		switch {
+		case dup:
+			e.flushAck()
+		case advanced:
+			if e.host.offload {
+				e.scheduleAck()
+			} else {
+				e.sendAck(e.rcvNxt)
+			}
+		}
 	})
 }
 
+// queueDeliveries appends one accepted chunk's pieces to the receive
+// queue. With offload on, contiguous in-order arrivals of the same
+// representation coalesce into the queue's tail delivery (the GRO merge):
+// the reader drains a whole super-segment — or several — in one Recv
+// instead of one per MSS. Merging is bounded at SuperSeg so an idle
+// reader cannot accrete one unbounded delivery.
+func (e *Endpoint) queueDeliveries(pieces []segPiece) {
+	for _, pc := range pieces {
+		if e.host.offload && len(e.rcvQ) > 0 {
+			tail := &e.rcvQ[len(e.rcvQ)-1]
+			if tail.Len() < e.host.ocfg.SuperSeg {
+				if pc.agg != nil && tail.Agg != nil {
+					tail.Agg.Concat(pc.agg) // tail is rcvQ's own clone; safe to grow
+					continue
+				}
+				if pc.agg == nil && tail.Data != nil {
+					tail.Data = append(tail.Data, pc.data...)
+					continue
+				}
+			}
+		}
+		d := Delivery{}
+		if pc.agg != nil {
+			d.Agg = pc.agg.Clone() // receiver's reference; sender's released on ack
+		} else {
+			// Copy mode: wire bytes land in receive socket buffers; a
+			// later Recv copies them out to the application.
+			d.Data = append([]byte(nil), pc.data...)
+		}
+		e.rcvQ = append(e.rcvQ, d)
+	}
+}
+
 // sendAck returns a cumulative acknowledgment (every byte below ackNo has
-// arrived) to the peer — the data sender.
+// arrived) to the peer — the data sender — as its own ack packet, counted
+// on the host's ack meter.
 func (e *Endpoint) sendAck(ackNo int64) {
+	e.host.acksOut++
 	link := e.link
 	done := link.wire[e.dir].UseAsync(link.txTime(AckLen), nil)
 	sender := e.peer
@@ -635,6 +800,62 @@ func (e *Endpoint) sendAck(ackNo int64) {
 		sender.host.charge(sender.host.costs.Packet/2, func() {
 			sender.acked(ackNo)
 		})
+	})
+}
+
+// scheduleAck notes one in-order receive event under the delayed-ack
+// policy: every AckEvery-th event acks immediately; otherwise the wheel
+// timer guarantees an ack within AckDelay, which bounds the classic
+// Nagle/delayed-ack stall (a sender holding a sub-MSS tail for this ack
+// waits out the delay, never deadlocks).
+func (e *Endpoint) scheduleAck() {
+	e.ackEvents++
+	if e.ackEvents >= e.host.ocfg.AckEvery {
+		e.flushAck()
+		return
+	}
+	if e.ackTimer == nil || !e.ackTimer.Pending() {
+		e.ackTimer = e.host.eng.Wheel().Schedule(e.host.ocfg.AckDelay, e.onAckDelay)
+	}
+}
+
+// onAckDelay fires when a delayed ack times out on the wheel.
+func (e *Endpoint) onAckDelay() {
+	if e.ackEvents > 0 {
+		e.flushAck()
+	}
+}
+
+// flushAck sends the cumulative ack now and clears delayed-ack state.
+// With delayed acks off this is exactly sendAck.
+func (e *Endpoint) flushAck() {
+	e.ackEvents = 0
+	if e.ackTimer != nil {
+		e.ackTimer.Cancel()
+		e.ackTimer = nil
+	}
+	e.sendAck(e.rcvNxt)
+}
+
+// piggybackAck folds a pending delayed ack into a data segment this
+// endpoint is emitting toward the data's sender: the segment's header
+// carries the cumulative ack for free, so no separate ack packet, no ack
+// wire time, and no ack processing charge — the request/response pattern
+// delayed acks exist for. The ack information arrives after the
+// propagation delay like the segment that carries it.
+func (e *Endpoint) piggybackAck() {
+	if e.ackEvents == 0 {
+		return
+	}
+	e.ackEvents = 0
+	if e.ackTimer != nil {
+		e.ackTimer.Cancel()
+		e.ackTimer = nil
+	}
+	ackNo := e.rcvNxt
+	sender := e.peer
+	e.host.eng.After(e.link.delay, func() {
+		sender.acked(ackNo)
 	})
 }
 
@@ -663,6 +884,7 @@ func (e *Endpoint) acked(ackNo int64) {
 			if e.dupAcks >= thresh && e.sndUna >= e.recoverUntil {
 				e.dupAcks = 0
 				e.recoverUntil = e.sndNxt
+				e.host.fastRetrans++
 				e.retransmit()
 				e.restartRTO()
 			}
@@ -675,22 +897,23 @@ func (e *Endpoint) acked(ackNo int64) {
 		e.inStall = false
 	}
 	var freed int
-	for len(e.ackFIFO) > 0 && e.ackFIFO[0].end() <= ackNo {
+	for len(e.ackFIFO) > 0 && e.ackFIFO[0].seq < ackNo {
 		rec := e.ackFIFO[0]
-		e.ackFIFO = e.ackFIFO[1:]
-		if !rec.retx && e.faulty() {
-			e.sampleRTT(e.host.eng.Now().Sub(rec.sent))
+		if rec.end() <= ackNo {
+			e.ackFIFO = e.ackFIFO[1:]
+			if !rec.retx && e.faulty() {
+				e.sampleRTT(e.host.eng.Now().Sub(rec.sent))
+			}
+			freed += rec.trimAcked(rec.end())
+			continue
 		}
-		for _, a := range rec.aggs {
-			a.Release()
-		}
-		freed += rec.n
-		for _, done := range rec.dones {
-			done()
-		}
-	}
-	if len(e.ackFIFO) > 0 && e.ackFIFO[0].seq < ackNo {
-		panic(fmt.Sprintf("netsim: ack %d splits segment at %d", ackNo, e.ackFIFO[0].seq))
+		// Partial ack inside a super-segment: the receiver accepted a
+		// chunk prefix up to a hole. Trim the acknowledged chunks so
+		// retransmission re-sends only the pieces covering the hole (no
+		// whole-super-segment re-charge). Karn: no RTT sample until the
+		// record fully acks.
+		freed += rec.trimAcked(ackNo)
+		break
 	}
 	e.sndUna = ackNo
 	e.sndBytes -= freed

@@ -38,7 +38,15 @@ type FaultPlan struct {
 	// default).
 	Seed uint64
 
-	rng uint64
+	// DropList drops specific segments deterministically: the plan keeps a
+	// running count of segments it has judged, and drops the ones whose
+	// 1-based judge-order index appears here. With offload on, judging is
+	// per MSS chunk, so a DropList entry punches an MSS-granular hole in
+	// a super-segment — the hook the recovery tests use.
+	DropList []int64
+
+	rng    uint64
+	judged int64
 
 	// Counters: segments the plan dropped (incl. partition drops) and
 	// corrupted.
@@ -82,6 +90,13 @@ const (
 func (fp *FaultPlan) judge(now sim.Time) segFate {
 	if fp == nil {
 		return segOK
+	}
+	fp.judged++
+	for _, idx := range fp.DropList {
+		if idx == fp.judged {
+			fp.dropped++
+			return segDrop
+		}
 	}
 	for _, w := range fp.Partitions {
 		if now >= w.From && now < w.To {

@@ -23,6 +23,30 @@ const (
 	EthOverlay = 18 // Ethernet framing overhead per packet on the wire
 )
 
+// Segment-offload defaults: an LSO super-segment gathers up to SuperSeg
+// bytes of adjacent send pieces and is charged fixed protocol work once;
+// the delayed-ack policy acks every DefaultAckEvery-th receive event or
+// after DefaultAckDelay on the shared timer wheel, whichever comes first.
+// DefaultAckDelay sits below minRTO so a delayed ack can never look like
+// a loss to the retransmission machinery.
+const (
+	SuperSeg        = 64 << 10
+	DefaultAckEvery = 2
+	DefaultAckDelay = 100 * sim.Microsecond
+)
+
+// OffloadConfig are the per-host segment-offload knobs.
+type OffloadConfig struct {
+	// SuperSeg caps the payload bytes one charged super-segment gathers
+	// (it carries up to SuperSeg/MSS full MSS chunks).
+	SuperSeg int
+	// AckEvery acks every Nth in-order receive event immediately.
+	AckEvery int
+	// AckDelay bounds how long a delayed ack waits for a companion
+	// event before the wheel timer flushes it.
+	AckDelay sim.Duration
+}
+
 // Host is one machine on the network.
 type Host struct {
 	Name  string
@@ -45,14 +69,28 @@ type Host struct {
 	pktsOut, pktsIn   int64
 	bytesOut, bytesIn int64
 
+	// segsOut counts MSS-granular wire chunks (a super-segment carries
+	// several; without offload segsOut == pktsOut) and acksOut the ack
+	// packets this host put on the wire — together with pktsOut, the
+	// full packet-economy picture.
+	segsOut int64
+	acksOut int64
+
+	// offload enables LSO/GRO-style segment offload for this host's
+	// endpoints: super-segment send gathering, coalesced receive events,
+	// and the delayed-ack policy, per ocfg.
+	offload bool
+	ocfg    OffloadConfig
+
 	// faults, when non-nil, injects faults into every data segment this
 	// host transmits (see fault.go).
 	faults *FaultPlan
 
 	// Recovery counters: data segments this host retransmitted (and their
-	// payload bytes), and received segments its checksum verification
-	// rejected.
+	// payload bytes), dup-ack-triggered recovery rounds (vs timer-driven),
+	// and received segments its checksum verification rejected.
 	retransSegs, retransBytes int64
+	fastRetrans               int64
 	corruptIn                 int64
 }
 
@@ -99,17 +137,67 @@ func (h *Host) charge(d sim.Duration, fn func()) {
 	h.eng.After(d, fn)
 }
 
-// Stats reports packet and byte counters. pktsOut counts data segments
-// this host put on the wire (acks and FINs are not data segments).
+// SetOffload enables (or disables) LSO/GRO segment offload for this
+// host's endpoints with the default knobs: send pumps gather up to
+// SuperSeg bytes into one charged super-segment, receive events coalesce
+// a super-segment's chunks into one charge and one reader wake-up, and
+// acks run the delayed-ack policy (every DefaultAckEvery-th event or
+// DefaultAckDelay, dup-acks immediate, outgoing data piggybacks).
+func (h *Host) SetOffload(on bool) {
+	h.SetOffloadConfig(on, OffloadConfig{})
+}
+
+// SetOffloadConfig enables offload with explicit knobs; zero fields take
+// the defaults.
+func (h *Host) SetOffloadConfig(on bool, cfg OffloadConfig) {
+	if cfg.SuperSeg < MSS {
+		cfg.SuperSeg = SuperSeg
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = DefaultAckEvery
+	}
+	if cfg.AckDelay <= 0 {
+		cfg.AckDelay = DefaultAckDelay
+	}
+	h.offload = on
+	h.ocfg = cfg
+}
+
+// Offload reports whether segment offload is on for this host.
+func (h *Host) Offload() bool { return h.offload }
+
+// SegCapacity is the payload capacity of this host's charged transmit
+// unit: the super-segment size with offload on, one MSS without — the
+// denominator MeanSegFill measures against.
+func (h *Host) SegCapacity() int {
+	if h.offload {
+		return h.ocfg.SuperSeg
+	}
+	return MSS
+}
+
+// Stats reports packet and byte counters. pktsOut counts charged transmit
+// units this host put on the wire — data segments, or super-segments with
+// offload on (acks and FINs are not data segments).
 func (h *Host) Stats() (pktsOut, pktsIn, bytesOut, bytesIn int64) {
 	return h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn
 }
+
+// SegsOut reports the MSS-granular wire chunks this host transmitted
+// (including retransmissions); equal to pktsOut when offload is off.
+func (h *Host) SegsOut() int64 { return h.segsOut }
+
+// AcksOut reports the ack packets this host transmitted. Piggybacked
+// acks (riding an outgoing data segment under offload) are not packets
+// and don't count.
+func (h *Host) AcksOut() int64 { return h.acksOut }
 
 // ResetNetStats zeroes the packet, byte, and recovery counters, so a
 // measurement window can exclude warmup traffic.
 func (h *Host) ResetNetStats() {
 	h.pktsOut, h.pktsIn, h.bytesOut, h.bytesIn = 0, 0, 0, 0
-	h.retransSegs, h.retransBytes, h.corruptIn = 0, 0, 0
+	h.segsOut, h.acksOut = 0, 0
+	h.retransSegs, h.retransBytes, h.fastRetrans, h.corruptIn = 0, 0, 0, 0
 }
 
 // ResetMeters implements the obs.Resetter seam (alias for ResetNetStats).
@@ -122,18 +210,24 @@ func (h *Host) RetransStats() (segs, bytes int64) {
 	return h.retransSegs, h.retransBytes
 }
 
+// FastRetransmits reports dup-ack-triggered recovery rounds (fast or
+// early retransmit), as opposed to RTO-driven ones — the meter that shows
+// the dup-ack signal survives delayed acks.
+func (h *Host) FastRetransmits() int64 { return h.fastRetrans }
+
 // CorruptIn reports received segments discarded by checksum verification.
 func (h *Host) CorruptIn() int64 { return h.corruptIn }
 
-// MeanSegFill reports the mean payload fill of this host's transmitted
-// data segments as a fraction of the MSS (1.0 = every segment full) — the
-// packet-economy meter for the send-side coalescing path. 0 when the host
-// has sent nothing.
+// MeanSegFill reports the mean payload fill of this host's charged
+// transmit units as a fraction of their capacity (1.0 = every unit full):
+// against the MSS normally, against the super-segment size when offload
+// is on — a super-segment is one charged unit, so measuring it against
+// one MSS would read as >100% fill. 0 when the host has sent nothing.
 func (h *Host) MeanSegFill() float64 {
 	if h.pktsOut == 0 {
 		return 0
 	}
-	return float64(h.bytesOut) / (float64(h.pktsOut) * MSS)
+	return float64(h.bytesOut) / (float64(h.pktsOut) * float64(h.SegCapacity()))
 }
 
 // Link is a full-duplex point-to-point link: each direction has independent

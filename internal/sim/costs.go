@@ -92,6 +92,12 @@ type CostModel struct {
 	// Demux charges the early-demultiplexing packet filter per packet
 	// (§3.6).
 	Demux time.Duration
+	// SegChunk charges the residual per-MSS work inside an offloaded
+	// super-segment: the NIC segmentation descriptor / DMA setup for one
+	// extra wire chunk beyond the first. It replaces a full Packet +
+	// MbufAlloc + Interrupt round for every MSS after the first, which is
+	// the whole point of LSO/GRO-style offload.
+	SegChunk time.Duration
 
 	// ProcSwitch charges one context switch between processes.
 	ProcSwitch time.Duration
@@ -166,6 +172,7 @@ func DefaultCosts() *CostModel {
 		TCPSetup:    90 * time.Microsecond,
 		TCPTeardown: 45 * time.Microsecond,
 		Demux:       1500 * time.Nanosecond,
+		SegChunk:    700 * time.Nanosecond,
 
 		ProcSwitch: 11 * time.Microsecond,
 		Fork:       350 * time.Microsecond,
