@@ -9,6 +9,7 @@
 //	webbench -fig fcgi       # the fcgi worker-pool scaling study
 //	webbench -fig fcginet    # fcgi worker placement: the LAN-tax study
 //	webbench -fig chaos      # fault injection: loss × kills × replay
+//	webbench -fig qos        # multi-tenant isolation under a heavy hitter
 //	webbench -fig all -quick # every figure, reduced point set
 //	webbench -fig proxy -trace t.json  # + Chrome trace-event export
 package main
@@ -39,12 +40,13 @@ var figures = map[string]func(experiments.Options) *experiments.Table{
 	"fcgi":    experiments.FigFCGI,
 	"fcginet": experiments.FigFCGINet,
 	"chaos":   experiments.FigChaos,
+	"qos":     experiments.FigQoS,
 }
 
-var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi", "fcginet", "chaos"}
+var figureOrder = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "proxy", "fcgi", "fcginet", "chaos", "qos"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', 'chaos', or 'all'")
+	fig := flag.String("fig", "all", "figure number (3-13), 'proxy', 'fcgi', 'fcginet', 'chaos', 'qos', or 'all'")
 	quick := flag.Bool("quick", false, "reduced point set and shorter windows")
 	verbose := flag.Bool("v", false, "progress output")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's request spans")
@@ -61,7 +63,7 @@ func main() {
 	names := figureOrder
 	if *fig != "all" {
 		if _, ok := figures[*fig]; !ok {
-			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, fcginet, chaos, or all)\n", *fig)
+			fmt.Fprintf(os.Stderr, "webbench: unknown figure %q (want 3-13, proxy, fcgi, fcginet, chaos, qos, or all)\n", *fig)
 			os.Exit(2)
 		}
 		names = []string{*fig}

@@ -367,26 +367,21 @@ func (c *Conn) readAtomicRecord(p *sim.Proc) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	if a.Len() < HeaderLen {
-		a.Release()
-		return Record{}, ErrProtocol
-	}
 	var hb [HeaderLen + TraceLen]byte
-	a.ReadAt(hb[:HeaderLen], 0)
-	h, err := parseHeader(hb[:HeaderLen])
+	have := a.Len()
+	if have > len(hb) {
+		have = len(hb)
+	}
+	a.ReadAt(hb[:have], 0)
+	h, hlen, err := DecodeHeader(hb[:have])
 	if err != nil {
 		a.Release()
-		return Record{}, err
-	}
-	hlen := HeaderLen
-	if h.traced() {
-		if a.Len() < HeaderLen+TraceLen {
-			a.Release()
-			return Record{}, ErrProtocol
+		if err == ErrTruncated {
+			// Writes on a reference pipe are atomic: a record torn inside
+			// its header is corruption, there is no more to read.
+			err = ErrProtocol
 		}
-		a.ReadAt(hb[HeaderLen:], HeaderLen)
-		h.parseTrace(hb[HeaderLen:])
-		hlen += TraceLen
+		return Record{}, err
 	}
 	a.DropFront(hlen)
 	want := int(h.Length)
@@ -415,18 +410,17 @@ func (c *Conn) readStreamRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (R
 	}
 	var hb [HeaderLen + TraceLen]byte
 	c.rAgg.ReadAt(hb[:HeaderLen], 0)
-	h, err := parseHeader(hb[:HeaderLen])
-	if err != nil {
-		return Record{}, err
-	}
-	hlen := HeaderLen
-	if h.traced() {
+	have := HeaderLen
+	if hb[1]&FlagTraced != 0 {
 		if err := fill(p, HeaderLen+TraceLen); err != nil {
 			return Record{}, err
 		}
 		c.rAgg.ReadAt(hb[HeaderLen:], HeaderLen)
-		h.parseTrace(hb[HeaderLen:])
-		hlen += TraceLen
+		have += TraceLen
+	}
+	h, hlen, err := DecodeHeader(hb[:have])
+	if err != nil {
+		return Record{}, err
 	}
 	want := int(h.Length)
 	if h.Type == RecEnd {
@@ -474,17 +468,14 @@ func (c *Conn) readCopyRecord(p *sim.Proc, fill func(*sim.Proc, int) error) (Rec
 	if err := fill(p, HeaderLen); err != nil {
 		return Record{}, err
 	}
-	h, err := parseHeader(c.rbuf[:HeaderLen])
-	if err != nil {
-		return Record{}, err
-	}
-	hlen := HeaderLen
-	if h.traced() {
+	if c.rbuf[1]&FlagTraced != 0 {
 		if err := fill(p, HeaderLen+TraceLen); err != nil {
 			return Record{}, err
 		}
-		h.parseTrace(c.rbuf[HeaderLen:])
-		hlen += TraceLen
+	}
+	h, hlen, err := DecodeHeader(c.rbuf)
+	if err != nil {
+		return Record{}, err
 	}
 	want := int(h.Length)
 	if h.Type == RecEnd {

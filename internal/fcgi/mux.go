@@ -34,6 +34,12 @@ type Request struct {
 	// BEGIN record so it crosses to the worker machine, and carves the
 	// channel's loss-recovery stall out of the service wait.
 	Span *obs.Span
+	// Tenant names the principal this request serves. On a QoS-enabled
+	// pool it selects the admission account (rate bucket, in-flight
+	// share) and the within-weight routing signal, tags the calling proc
+	// for the transport's weighted fair queueing, and lands in the span.
+	// Empty bypasses QoS.
+	Tenant string
 }
 
 // Response is one completed request: the STDOUT payload — Body (by

@@ -75,6 +75,10 @@ type PoolConfig struct {
 	// record carried over) and binds the handler proc so its charges bin
 	// to the worker phase.
 	Obs *obs.Collector
+	// QoS, when set, enables multi-tenant admission control and
+	// within-weight routing for requests that carry a Tenant (see
+	// QoSConfig; empty-tenant requests bypass it).
+	QoS *QoSConfig
 	// Handler serves each request; it receives the owning Worker so
 	// per-worker state (document caches in the worker's own pool) is a
 	// field access away.
@@ -105,6 +109,9 @@ type Worker struct {
 	conn     *Conn // worker side
 	mux      *Mux  // server side
 	inflight int
+	// perTenant tracks in-flight requests by tenant (within-weight
+	// routing); nil until the first tenant-tagged request.
+	perTenant map[string]int
 
 	// Retirement state: active counts handlers currently running in the
 	// worker, serveDone marks its serve loop exited, retire holds the
@@ -155,6 +162,10 @@ type WorkerPool struct {
 	reroutes int64
 	respawns int64
 	replays  int64
+	// QoS admission state and shed meters (see qos.go).
+	qosState  map[string]*tenantQoS
+	sheds     int64
+	throttles int64
 	// retired holds the worker-side channels of workers supervision has
 	// replaced: their write errors — including EPIPEs that in-flight
 	// handlers hit after the respawn — stay in Stats, keeping the count
@@ -298,12 +309,16 @@ func (wp *WorkerPool) Transport() Transport { return wp.transport }
 
 // pick selects the live worker with the fewest in-flight requests,
 // breaking ties round-robin so sequential loads still warm every worker
-// over time. Broken workers are skipped — their muxes fail requests
-// instantly, so their inflight count sits at zero and strict least-loaded
-// routing would funnel all traffic into the failure. Only when every
-// worker is broken does pick hand one back, so Do fails fast rather than
-// blocking.
-func (wp *WorkerPool) pick() *Worker {
+// over time. A tenant-tagged request compares the tenant's own in-flight
+// count first, global load second: one tenant's burst spreads across
+// workers (least-loaded within its share) instead of stacking behind
+// itself on a single mux while the rest of the pool idles — and, dually,
+// a heavy tenant can't make one worker's queue everybody's problem.
+// Broken workers are skipped — their muxes fail requests instantly, so
+// their inflight count sits at zero and strict least-loaded routing would
+// funnel all traffic into the failure. Only when every worker is broken
+// does pick hand one back, so Do fails fast rather than blocking.
+func (wp *WorkerPool) pick(tenant string) *Worker {
 	n := len(wp.workers)
 	start := wp.rr % n
 	wp.rr++
@@ -313,7 +328,20 @@ func (wp *WorkerPool) pick() *Worker {
 		if w.mux.Err() != nil {
 			continue
 		}
-		if best == nil || w.inflight < best.inflight {
+		if best == nil {
+			best = w
+			continue
+		}
+		if tenant != "" {
+			wt, bt := w.tenantLoad(tenant), best.tenantLoad(tenant)
+			if wt != bt {
+				if wt < bt {
+					best = w
+				}
+				continue
+			}
+		}
+		if w.inflight < best.inflight {
 			best = w
 		}
 	}
@@ -337,6 +365,28 @@ func (wp *WorkerPool) pick() *Worker {
 // attempt costs the master nothing.
 func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 	wp.requests++
+	// QoS admission runs first: a shed request never touches routing,
+	// mux slots, or the master-clone machinery. The pool's reference to
+	// the stdin body is released on a shed — the caller's own reference
+	// discipline is unchanged (same as every pre-dispatch failure).
+	qosRelease, err := wp.admitQoS(p, &req)
+	if err != nil {
+		if req.StdinAgg != nil {
+			req.StdinAgg.Release()
+		}
+		return nil, err
+	}
+	if qosRelease != nil {
+		defer qosRelease()
+	}
+	if req.Tenant != "" {
+		// Tag the proc (netsim WFQ reads it at send-window admission) and
+		// the span for the request's lifetime in the pool.
+		prev := p.Tenant()
+		p.SetTenant(req.Tenant)
+		defer p.SetTenant(prev)
+		req.Span.SetTenant(req.Tenant)
+	}
 	replayable := wp.cfg.Replay && req.Idempotent
 	replayed := 0
 	// With replay in force, the pool retains the stdin body as a master
@@ -348,7 +398,7 @@ func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 		req.StdinAgg = nil
 	}
 	for {
-		w := wp.pick()
+		w := wp.pick(req.Tenant)
 		if w.mux.Err() != nil {
 			// pick only returns a broken worker when every worker is
 			// broken: fail fast.
@@ -365,7 +415,9 @@ func (wp *WorkerPool) Do(p *sim.Proc, req Request) (*Response, error) {
 			req.StdinAgg = master.Clone()
 		}
 		w.inflight++
+		w.addTenant(req.Tenant, 1)
 		resp, err := w.mux.Do(p, req)
+		w.addTenant(req.Tenant, -1)
 		w.inflight--
 		if err == nil {
 			if master != nil {

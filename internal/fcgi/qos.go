@@ -1,0 +1,176 @@
+package fcgi
+
+import (
+	"errors"
+
+	"iolite/internal/kernel"
+	"iolite/internal/obs"
+	"iolite/internal/sim"
+)
+
+// Multi-tenant QoS at the pool router — the PAIO-style policy/enforcement
+// split: policy lives here in one QoSConfig, enforcement rides the seams
+// that already exist (the routing decision in Do, the per-worker mux
+// depth, the shared-wheel token bucket). Admission control is deliberately
+// fail-fast: an over-limit request sheds with a typed error instead of
+// queueing, so an adversarial tenant's backlog lives in the tenant's own
+// retry loop, not in pool state the other tenants must queue behind.
+
+// QoS admission errors. Both mean "this tenant, right now" — the request
+// never dispatched, the caller retains ownership of req.StdinAgg (the
+// pool releases its reference before returning, symmetric with the other
+// pre-dispatch failure paths).
+var (
+	// ErrThrottled: the tenant outran its request-rate allowance.
+	ErrThrottled = errors.New("fcgi: tenant over request-rate allowance")
+	// ErrOverShare: the tenant already holds its full in-flight share of
+	// the pool.
+	ErrOverShare = errors.New("fcgi: tenant over in-flight share")
+)
+
+// qosAdmitCost is the CPU charge of one admission decision (a map probe,
+// a bucket refill, two bounds checks) — metered so the enforcement
+// overhead the QoS experiments report is honest, not free.
+const qosAdmitCost = sim.Duration(300) // 300 ns
+
+// QoSConfig is a pool's multi-tenant admission policy. Requests carrying
+// an empty Tenant bypass QoS entirely (zero added cost — the
+// single-tenant pools of earlier PRs are unaffected).
+type QoSConfig struct {
+	// Weights maps tenant → relative weight; absent tenants get weight 1.
+	// A weight-w tenant gets w× the in-flight share and w× the request
+	// rate of a default tenant.
+	Weights map[string]int64
+	// MaxShare bounds a weight-1 tenant's concurrent in-flight requests
+	// (default 2); a tenant at its bound sheds with ErrOverShare.
+	MaxShare int
+	// ReqRate, when positive, bounds a weight-1 tenant's admitted
+	// requests/second with a per-tenant token bucket on the shared wheel;
+	// a tenant outrunning it sheds with ErrThrottled.
+	ReqRate int64
+	// ReqBurst is the weight-1 bucket burst (default: one second of
+	// ReqRate).
+	ReqBurst int64
+	// Meters, when set, accumulates per-tenant admitted/shed/throttled
+	// counts.
+	Meters *obs.Tenants
+}
+
+// weight returns tenant's configured weight (1 when unset).
+func (q *QoSConfig) weight(tenant string) int64 {
+	if w, ok := q.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// maxShare returns the weight-1 in-flight bound.
+func (q *QoSConfig) maxShare() int {
+	if q.MaxShare > 0 {
+		return q.MaxShare
+	}
+	return 2
+}
+
+// tenantQoS is one tenant's admission state: its weight-scaled in-flight
+// count and rate bucket.
+type tenantQoS struct {
+	weight   int64
+	inflight int
+	bucket   *kernel.TokenBucket // nil when ReqRate is unset
+}
+
+// tenantState lazily builds tenant's admission state.
+func (wp *WorkerPool) tenantState(tenant string) *tenantQoS {
+	ts, ok := wp.qosState[tenant]
+	if ok {
+		return ts
+	}
+	q := wp.cfg.QoS
+	ts = &tenantQoS{weight: q.weight(tenant)}
+	if q.ReqRate > 0 {
+		burst := q.ReqBurst
+		if burst > 0 {
+			burst *= ts.weight
+		}
+		ts.bucket = kernel.NewTokenBucket(wp.eng(), q.ReqRate*ts.weight, burst)
+	}
+	if wp.qosState == nil {
+		wp.qosState = make(map[string]*tenantQoS)
+	}
+	wp.qosState[tenant] = ts
+	return ts
+}
+
+// eng resolves the engine everything runs on (cfg.Machine when the pool
+// owns one, else any worker's machine).
+func (wp *WorkerPool) eng() *sim.Engine {
+	if wp.cfg.Machine != nil {
+		return wp.cfg.Machine.Eng
+	}
+	return wp.workers[0].M.Eng
+}
+
+// admitQoS is the admission decision for one request. It returns a
+// release hook (run when the request leaves the pool, however it ends)
+// and nil, or a typed shed error. The decision's CPU cost is charged to
+// the calling proc on the server machine.
+func (wp *WorkerPool) admitQoS(p *sim.Proc, req *Request) (func(), error) {
+	q := wp.cfg.QoS
+	if q == nil || req.Tenant == "" {
+		return nil, nil
+	}
+	if m := wp.cfg.Machine; m != nil {
+		m.Host.Use(p, qosAdmitCost)
+	}
+	ts := wp.tenantState(req.Tenant)
+	stats := q.Meters.Get(req.Tenant)
+	if ts.inflight >= int(ts.weight)*q.maxShare() {
+		wp.sheds++
+		stats.Sheds++
+		return nil, ErrOverShare
+	}
+	if ts.bucket != nil && !ts.bucket.TryTake(1) {
+		wp.throttles++
+		stats.Throttles++
+		return nil, ErrThrottled
+	}
+	ts.inflight++
+	stats.Requests++
+	return func() { ts.inflight-- }, nil
+}
+
+// tenantLoad reports how many of tenant's requests are in flight on this
+// worker (the within-weight routing signal).
+func (w *Worker) tenantLoad(tenant string) int {
+	return w.perTenant[tenant]
+}
+
+// addTenant adjusts the worker's per-tenant in-flight count, reaping
+// zeroed entries so thousands of transient tenants don't accrete.
+func (w *Worker) addTenant(tenant string, d int) {
+	if tenant == "" {
+		return
+	}
+	if w.perTenant == nil {
+		w.perTenant = make(map[string]int)
+	}
+	w.perTenant[tenant] += d
+	if w.perTenant[tenant] <= 0 {
+		delete(w.perTenant, tenant)
+	}
+}
+
+// IsShed reports whether err is a QoS admission refusal (ErrOverShare or
+// ErrThrottled) — the errors a tenant answers with backoff, as opposed to
+// real failures.
+func IsShed(err error) bool {
+	return errors.Is(err, ErrOverShare) || errors.Is(err, ErrThrottled)
+}
+
+// Sheds reports requests refused at admission: depth-bound sheds and
+// rate throttles. Neither counts as a pool failure — the request never
+// dispatched and the typed error tells the tenant to back off.
+func (wp *WorkerPool) Sheds() (sheds, throttles int64) {
+	return wp.sheds, wp.throttles
+}

@@ -151,6 +151,73 @@ func parseHeader(b []byte) (Header, error) {
 // traced reports whether the header announces a trace extension.
 func (h Header) traced() bool { return h.Flags&FlagTraced != 0 }
 
+// allowedFlags is the per-type flag whitelist (trace bit excluded — it is
+// an encoding concern, stripped before the check). Anything outside it is
+// a malformed record: no writer in this package emits it, so a reader
+// seeing it is looking at a corrupt or hostile stream.
+func allowedFlags(t RecType) uint8 {
+	switch t {
+	case RecBegin:
+		return FlagNoStdin | FlagIdempotent
+	case RecParams, RecStdin, RecStdout, RecEnd:
+		// END closes the STDOUT stream, so it carries FlagEndStream too.
+		return FlagEndStream
+	}
+	return 0
+}
+
+// DecodeHeader decodes a record header (fixed part plus trace extension,
+// when announced) from the front of b, returning the header and the bytes
+// consumed. It is the bounds-safe entry every read path funnels through:
+// a short buffer reports ErrTruncated (read more and retry), and a header
+// with a bad type, reserved request id, or flags its type never carries
+// reports ErrProtocol. It never panics or reads past len(b).
+func DecodeHeader(b []byte) (Header, int, error) {
+	if len(b) < HeaderLen {
+		return Header{}, 0, ErrTruncated
+	}
+	h, err := parseHeader(b[:HeaderLen])
+	if err != nil {
+		return Header{}, 0, err
+	}
+	n := HeaderLen
+	if h.traced() {
+		if len(b) < HeaderLen+TraceLen {
+			return Header{}, 0, ErrTruncated
+		}
+		h.parseTrace(b[HeaderLen:])
+		n += TraceLen
+	}
+	if h.Flags&^allowedFlags(h.Type) != 0 {
+		return Header{}, 0, ErrProtocol
+	}
+	return h, n, nil
+}
+
+// DecodeRecord decodes one whole record from the front of b, returning
+// the record and the bytes consumed. The payload aliases b (no copy);
+// callers that keep the record beyond b's lifetime must copy it. END
+// records consume no payload bytes (their Length field is the status).
+// ErrTruncated means b ends before the record does.
+func DecodeRecord(b []byte) (Record, int, error) {
+	h, hlen, err := DecodeHeader(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	var want int64
+	if h.Type != RecEnd {
+		want = int64(h.Length)
+	}
+	if int64(len(b)-hlen) < want {
+		return Record{}, 0, ErrTruncated
+	}
+	rec := Record{Header: h}
+	if want > 0 {
+		rec.Bytes = b[hlen : hlen+int(want)]
+	}
+	return rec, hlen + int(want), nil
+}
+
 // parseTrace decodes the TraceLen-byte trace extension into h.
 func (h *Header) parseTrace(b []byte) {
 	h.Trace = binary.BigEndian.Uint32(b)
@@ -159,9 +226,14 @@ func (h *Header) parseTrace(b []byte) {
 
 // Framing errors.
 var (
-	// ErrProtocol reports a malformed record (bad type, reserved id, or a
-	// ref-mode aggregate whose length disagrees with its header).
+	// ErrProtocol reports a malformed record (bad type, reserved id,
+	// flags the type never carries, or a ref-mode aggregate whose length
+	// disagrees with its header).
 	ErrProtocol = errors.New("fcgi: malformed record")
+	// ErrTruncated reports a buffer that ends before the record it starts
+	// does: streaming decoders read more and retry, whole-message decoders
+	// treat it as a torn record.
+	ErrTruncated = errors.New("fcgi: truncated record")
 	// ErrBroken reports a connection whose peer is gone: the mux fails
 	// every in-flight and future request with it.
 	ErrBroken = errors.New("fcgi: connection broken")

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"iolite/internal/sim"
+)
+
+// hostNonCounters are the Host fields ResetNetStats must NOT touch:
+// identity, wiring, and configuration. Every other field is required to
+// be an int64 counter that ResetNetStats zeroes — so adding a counter to
+// Host without adding it to ResetNetStats (the bug class this PR's sweep
+// hunts: a stale warmup value silently inflating every measured window)
+// fails this test, as does adding a non-counter field without
+// classifying it here.
+var hostNonCounters = map[string]bool{
+	"Name":    true,
+	"eng":     true,
+	"costs":   true,
+	"cpu":     true,
+	"vm":      true,
+	"ck":      true,
+	"offload": true,
+	"ocfg":    true,
+	"faults":  true,
+	"wfq":     true,
+	"weights": true,
+}
+
+// TestResetNetStatsCoversEveryCounter poisons every counter field of a
+// Host via reflection and asserts ResetNetStats returns them all to
+// zero, leaving the non-counter fields alone.
+func TestResetNetStatsCoversEveryCounter(t *testing.T) {
+	eng := sim.New()
+	h := NewHost(eng, sim.DefaultCosts(), "h", true, nil, nil)
+	h.SetOffload(true)
+	h.SetWFQ(true)
+	h.SetTenantWeight("t", 3)
+
+	v := reflect.ValueOf(h).Elem()
+	ty := v.Type()
+	var counters []string
+	for i := 0; i < ty.NumField(); i++ {
+		f := ty.Field(i)
+		if hostNonCounters[f.Name] {
+			continue
+		}
+		if f.Type.Kind() != reflect.Int64 {
+			t.Fatalf("Host.%s is %v: classify it in hostNonCounters or make it an int64 counter",
+				f.Name, f.Type)
+		}
+		// Unexported fields need the unsafe route to poison.
+		fv := reflect.NewAt(f.Type, unsafe.Pointer(v.Field(i).UnsafeAddr())).Elem()
+		fv.SetInt(7)
+		counters = append(counters, f.Name)
+	}
+	if len(counters) < 11 {
+		t.Fatalf("found only %d counter fields %v — reflection walk broken?", len(counters), counters)
+	}
+
+	h.ResetNetStats()
+
+	for i := 0; i < ty.NumField(); i++ {
+		f := ty.Field(i)
+		if hostNonCounters[f.Name] {
+			continue
+		}
+		fv := reflect.NewAt(f.Type, unsafe.Pointer(v.Field(i).UnsafeAddr())).Elem()
+		if got := fv.Int(); got != 0 {
+			t.Errorf("ResetNetStats left Host.%s = %d, want 0", f.Name, got)
+		}
+	}
+
+	// And the configuration survived the reset.
+	if !h.Offload() || !h.WFQ() || h.TenantWeight("t") != 3 {
+		t.Error("ResetNetStats disturbed configuration state")
+	}
+}

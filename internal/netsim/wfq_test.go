@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iolite/internal/core"
+	"iolite/internal/sim"
+)
+
+// wfqShare runs two tenants — gold at weight 3, bronze at 1 — contending
+// for one endpoint's transmit window (tiny Tss, fat RTT, so the window is
+// the bottleneck and senders park constantly). It returns the bytes each
+// tenant got admitted during the run and the host's WFQ-arbitration count.
+func wfqShare(t *testing.T, wfq bool) (gold, bronze int, grants int64) {
+	t.Helper()
+	r := newRig(false, nil, 5*time.Millisecond)
+	r.server.SetWFQ(wfq)
+	r.server.SetTenantWeight("gold", 3)
+	end := sim.Time(400 * time.Millisecond)
+
+	r.eng.Go("client", func(p *sim.Proc) {
+		conn := Dial(p, r.client, r.link, r.lst, ConnOpts{Tss: 8 << 10})
+		for {
+			d, ok := conn.ClientEnd().Recv(p)
+			if !ok {
+				return
+			}
+			d.Release()
+		}
+	})
+	r.eng.Go("server", func(p *sim.Proc) {
+		conn := r.lst.Accept(p)
+		ep := conn.ServerEnd()
+		done := 0
+		const chunk = 2 << 10
+		sender := func(tenant string, count *int) func(*sim.Proc) {
+			return func(p *sim.Proc) {
+				p.SetTenant(tenant)
+				for p.Now() < end {
+					ep.Send(p, Payload{Data: make([]byte, chunk)}, nil)
+					*count += chunk
+				}
+				if done++; done == 2 {
+					ep.Drain(p)
+					ep.Close(p)
+				}
+			}
+		}
+		r.eng.Go("gold", sender("gold", &gold))
+		r.eng.Go("bronze", sender("bronze", &bronze))
+	})
+	r.eng.Run()
+	return gold, bronze, r.server.WFQGrants()
+}
+
+// TestWFQWeightedByteShare pins the arbitration itself: under window
+// contention a weight-3 tenant gets ~3× the bytes of a weight-1 tenant
+// when WFQ is on. The FIFO baseline is not ~1:1 — wake-all in arrival
+// order lets the front waiter consume the freed window and re-queue
+// before the one behind it ever runs, so the first-parked sender starves
+// the other almost completely. That starvation is the contention bug WFQ
+// exists to fix, so the test pins it too.
+func TestWFQWeightedByteShare(t *testing.T) {
+	gold, bronze, grants := wfqShare(t, true)
+	if gold == 0 || bronze == 0 {
+		t.Fatalf("starved tenant: gold %d, bronze %d", gold, bronze)
+	}
+	if grants == 0 {
+		t.Fatal("WFQ on but no arbitrated wakeups recorded")
+	}
+	ratio := float64(gold) / float64(bronze)
+	if ratio < 2.0 || ratio > 4.0 {
+		t.Fatalf("weighted share gold:bronze = %.2f, want ≈3 (weights 3:1)", ratio)
+	}
+
+	fGold, fBronze, fGrants := wfqShare(t, false)
+	if fGrants != 0 {
+		t.Fatalf("WFQ off recorded %d arbitrated wakeups", fGrants)
+	}
+	fifo := float64(fGold) / float64(fBronze)
+	if fifo < 10 {
+		t.Fatalf("FIFO share gold:bronze = %.2f — expected near-starvation of the late waiter (the failure mode WFQ fixes)", fifo)
+	}
+}
+
+// wfqOffloadRun drives two tenants' ref-mode sends through one offloaded
+// endpoint (WFQ optionally on) and returns the per-tenant bytes the
+// client received, the copy-charge meter, and the rig.
+func wfqOffloadRun(t *testing.T, wfq bool) (gotGold, gotBronze int, copied int64, r *rig) {
+	t.Helper()
+	r = newRig(true, nil, 500*time.Microsecond)
+	r.server.SetOffload(true)
+	r.client.SetOffload(true)
+	r.server.SetWFQ(wfq)
+	r.server.SetTenantWeight("gold", 3)
+	const perTenant = 96 << 10
+
+	r.eng.Go("client", func(p *sim.Proc) {
+		conn := Dial(p, r.client, r.link, r.lst, ConnOpts{ServerRefMode: true, Tss: 16 << 10})
+		for {
+			d, ok := conn.ClientEnd().Recv(p)
+			if !ok {
+				return
+			}
+			for _, b := range d.Bytes() {
+				switch b {
+				case 0xAA:
+					gotGold++
+				case 0xBB:
+					gotBronze++
+				default:
+					t.Errorf("received byte %#x from neither tenant", b)
+					return
+				}
+			}
+			d.Release()
+		}
+	})
+	r.eng.Go("server", func(p *sim.Proc) {
+		conn := r.lst.Accept(p)
+		ep := conn.ServerEnd()
+		done := 0
+		sender := func(tenant string, val byte) func(*sim.Proc) {
+			return func(p *sim.Proc) {
+				p.SetTenant(tenant)
+				const chunk = 4 << 10
+				for sent := 0; sent < perTenant; sent += chunk {
+					pl := core.PackBytes(p, r.pool, bytes.Repeat([]byte{val}, chunk))
+					ep.Send(p, Payload{Agg: pl}, nil)
+				}
+				if done++; done == 2 {
+					ep.Drain(p)
+					ep.Close(p)
+				}
+			}
+		}
+		r.eng.Go("gold", sender("gold", 0xAA))
+		r.eng.Go("bronze", sender("bronze", 0xBB))
+	})
+	r.eng.Run()
+	return gotGold, gotBronze, r.costs.MeterCopiedBytes(), r
+}
+
+// TestWFQOffloadComposition pins the composition invariants: WFQ's
+// reordering of window admission must not corrupt interleaved tenants'
+// data, must not break super-segment gather (many MSS chunks per charged
+// transmit unit), and must not add a single copied byte over the same
+// workload with WFQ off — the boundary-copy discipline of the offload
+// path is untouched by who wins the window.
+func TestWFQOffloadComposition(t *testing.T) {
+	const perTenant = 96 << 10
+	gold, bronze, copied, r := wfqOffloadRun(t, true)
+	if gold != perTenant || bronze != perTenant {
+		t.Fatalf("per-tenant bytes: gold %d, bronze %d, want %d each", gold, bronze, perTenant)
+	}
+	pkts, _, _, _ := r.server.Stats()
+	if segs := r.server.SegsOut(); segs < 2*pkts {
+		t.Fatalf("gather broken under WFQ: %d MSS chunks in %d charged units", segs, pkts)
+	}
+	if fill := r.server.MeanSegFill(); fill <= 0 || fill > 1 {
+		t.Fatalf("MeanSegFill %v out of (0, 1] under WFQ", fill)
+	}
+
+	fGold, fBronze, fCopied, _ := wfqOffloadRun(t, false)
+	if fGold != perTenant || fBronze != perTenant {
+		t.Fatalf("baseline per-tenant bytes: gold %d, bronze %d", fGold, fBronze)
+	}
+	if copied != fCopied {
+		t.Fatalf("WFQ changed copy charges: %d copied bytes vs %d with FIFO", copied, fCopied)
+	}
+}

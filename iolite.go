@@ -67,6 +67,12 @@ type (
 	Desc = kernel.Desc
 	// DescKind names a descriptor's flavor.
 	DescKind = kernel.DescKind
+	// LimitConfig configures a rate-limiting descriptor (bytes/sec,
+	// burst, optionally a shared TokenBucket).
+	LimitConfig = kernel.LimitConfig
+	// TokenBucket is a wheel-driven token bucket; share one across
+	// several LimitConfigs to enforce an aggregate tenant rate.
+	TokenBucket = kernel.TokenBucket
 )
 
 // Pipe modes.
@@ -116,6 +122,22 @@ func (s *System) NewAggDesc(a *Agg) Desc { return kernel.NewAggDesc(s.Machine, a
 // mismatch surfaces as ErrCorrupt instead of a clean io.EOF.
 func (s *System) NewCksumDesc(inner Desc, want uint16) Desc {
 	return kernel.NewCksumDesc(s.Machine, inner, want)
+}
+
+// NewLimitDesc wraps any descriptor with a token-bucket byte-rate
+// limiter: reads, writes, and splices through it debit the bucket, and a
+// blocking caller over its allowance parks on the shared timer wheel
+// until tokens refill (nonblocking descriptors see ErrAgain and a poll
+// wakeup when the bucket turns solvent). Pass cfg.Bucket to share one
+// allowance across several descriptors of the same tenant.
+func (s *System) NewLimitDesc(inner Desc, cfg LimitConfig) Desc {
+	return kernel.NewLimitDesc(s.Machine, inner, cfg)
+}
+
+// NewTokenBucket builds a standalone bucket on the system's engine for
+// sharing across NewLimitDesc wrappers.
+func (s *System) NewTokenBucket(ratePerSec, burst int64) *TokenBucket {
+	return kernel.NewTokenBucket(s.Eng, ratePerSec, burst)
 }
 
 // SystemConfig sizes a simulated machine.
